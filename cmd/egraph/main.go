@@ -1,0 +1,220 @@
+// Command egraph runs a single graph algorithm with a chosen combination of
+// techniques (layout, pre-processing method, information flow,
+// synchronization) and prints the end-to-end time breakdown — the
+// command-line face of the library's public API.
+//
+// Examples:
+//
+//	egraph -algorithm bfs -generate rmat -scale 20 -layout adjacency -flow push -sync atomics
+//	egraph -algorithm pagerank -generate twitter -scale 20 -layout grid -flow pull -sync nolock
+//	egraph -algorithm sssp -input edges.txt -format text -layout adjacency
+//	egraph -algorithm wcc -generate road -scale 9 -layout edgearray
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	everythinggraph "github.com/epfl-repro/everythinggraph"
+)
+
+func main() {
+	var (
+		algorithm = flag.String("algorithm", "bfs", "bfs | pagerank | wcc | sssp | spmv | als")
+		generate  = flag.String("generate", "rmat", "rmat | twitter | road | bipartite (ignored when -input is given)")
+		input     = flag.String("input", "", "edge-list file to load instead of generating")
+		format    = flag.String("format", "text", "input format: text | binary")
+		directed  = flag.Bool("directed", true, "treat the input file as directed")
+		scale     = flag.Int("scale", 18, "log2 of the vertex count for generated graphs")
+		seed      = flag.Int64("seed", 42, "generator seed")
+		layoutF   = flag.String("layout", "adjacency", "edgearray | adjacency | adjacency-sorted | grid")
+		flowF     = flag.String("flow", "push", "push | pull | pushpull")
+		syncF     = flag.String("sync", "atomics", "locks | atomics | nolock")
+		prepF     = flag.String("prep", "radix", "dynamic | count | radix")
+		source    = flag.Uint("source", 0, "source vertex for bfs/sssp")
+		prIters   = flag.Int("pagerank-iterations", 10, "PageRank iteration count")
+		workers   = flag.Int("workers", 0, "worker count (0 = all CPUs)")
+		verbose   = flag.Bool("v", false, "print per-iteration statistics")
+	)
+	flag.Parse()
+
+	g, users, err := buildGraph(*input, *format, *directed, *generate, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := everythinggraph.Config{Workers: *workers}
+	if cfg.Layout, err = parseLayout(*layoutF); err != nil {
+		fatal(err)
+	}
+	if cfg.Flow, err = parseFlow(*flowF); err != nil {
+		fatal(err)
+	}
+	if cfg.Sync, err = parseSync(*syncF); err != nil {
+		fatal(err)
+	}
+	if cfg.Prep, err = parsePrep(*prepF); err != nil {
+		fatal(err)
+	}
+
+	alg, err := makeAlgorithm(*algorithm, everythinggraph.VertexID(*source), *prIters, users, g)
+	if err != nil {
+		fatal(err)
+	}
+	if *algorithm == "wcc" {
+		undirected := true
+		cfg.Undirected = &undirected
+	}
+
+	res, err := g.Run(alg, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("configuration: layout=%v flow=%v sync=%v prep=%v\n", cfg.Layout, cfg.Flow, cfg.Sync, cfg.Prep)
+	fmt.Printf("algorithm: %s, %d iterations\n", res.Run.Algorithm, res.Run.Iterations)
+	fmt.Printf("breakdown: %s\n", res.Breakdown)
+	if *verbose {
+		for _, it := range res.Run.PerIteration {
+			mode := "push"
+			if it.UsedPull {
+				mode = "pull"
+			}
+			fmt.Printf("  iteration %3d: active=%9d mode=%s time=%v\n",
+				it.Iteration, it.ActiveVertices, mode, it.Duration)
+		}
+	}
+	printAlgorithmSummary(alg)
+}
+
+// buildGraph loads or generates the dataset. It returns the user count for
+// bipartite graphs (needed by ALS).
+func buildGraph(input, format string, directed bool, generate string, scale int, seed int64) (*everythinggraph.Graph, int, error) {
+	if input != "" {
+		f, err := os.Open(input)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		if format == "binary" {
+			g, err := everythinggraph.LoadBinary(f, directed)
+			return g, 0, err
+		}
+		g, err := everythinggraph.LoadText(f, directed)
+		return g, 0, err
+	}
+	switch generate {
+	case "rmat":
+		return everythinggraph.GenerateRMAT(scale, 16, seed), 0, nil
+	case "twitter":
+		return everythinggraph.GenerateTwitterProfile(scale, seed), 0, nil
+	case "road":
+		side := 1 << (scale / 2)
+		return everythinggraph.GenerateRoad(side, side, seed), 0, nil
+	case "bipartite":
+		users := 1 << scale
+		return everythinggraph.GenerateBipartite(users, users/16, 32, seed), users, nil
+	default:
+		return nil, 0, fmt.Errorf("unknown generator %q", generate)
+	}
+}
+
+func makeAlgorithm(name string, source everythinggraph.VertexID, prIters, users int, g *everythinggraph.Graph) (everythinggraph.Algorithm, error) {
+	switch name {
+	case "bfs":
+		return everythinggraph.BFS(source), nil
+	case "pagerank":
+		pr := everythinggraph.PageRank()
+		pr.Iterations = prIters
+		return pr, nil
+	case "wcc":
+		return everythinggraph.WCC(), nil
+	case "sssp":
+		return everythinggraph.SSSP(source), nil
+	case "spmv":
+		return everythinggraph.SpMV(), nil
+	case "als":
+		if users == 0 {
+			// Assume the first half of the vertex space is users when the
+			// dataset was loaded from a file.
+			users = g.NumVertices() / 2
+		}
+		return everythinggraph.ALS(users), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", name)
+	}
+}
+
+// printAlgorithmSummary prints a small algorithm-specific result line.
+func printAlgorithmSummary(alg everythinggraph.Algorithm) {
+	switch a := alg.(type) {
+	case interface{ Reached() int }:
+		fmt.Printf("result: %d vertices reached\n", a.Reached())
+	case interface{ NumComponents() int }:
+		fmt.Printf("result: %d components\n", a.NumComponents())
+	case interface{ TotalRank() float64 }:
+		fmt.Printf("result: total rank mass %.6f\n", a.TotalRank())
+	}
+}
+
+func parseLayout(s string) (everythinggraph.Layout, error) {
+	switch strings.ToLower(s) {
+	case "edgearray", "edge-array", "edge":
+		return everythinggraph.LayoutEdgeArray, nil
+	case "adjacency", "adj":
+		return everythinggraph.LayoutAdjacency, nil
+	case "adjacency-sorted", "adj-sorted":
+		return everythinggraph.LayoutAdjacencySorted, nil
+	case "grid":
+		return everythinggraph.LayoutGrid, nil
+	default:
+		return 0, fmt.Errorf("unknown layout %q", s)
+	}
+}
+
+func parseFlow(s string) (everythinggraph.Flow, error) {
+	switch strings.ToLower(s) {
+	case "push":
+		return everythinggraph.FlowPush, nil
+	case "pull":
+		return everythinggraph.FlowPull, nil
+	case "pushpull", "push-pull":
+		return everythinggraph.FlowPushPull, nil
+	default:
+		return 0, fmt.Errorf("unknown flow %q", s)
+	}
+}
+
+func parseSync(s string) (everythinggraph.Sync, error) {
+	switch strings.ToLower(s) {
+	case "locks", "lock":
+		return everythinggraph.SyncLocks, nil
+	case "atomics", "atomic", "cas":
+		return everythinggraph.SyncAtomics, nil
+	case "nolock", "no-lock", "partitionfree", "partition-free":
+		return everythinggraph.SyncPartitionFree, nil
+	default:
+		return 0, fmt.Errorf("unknown sync mode %q", s)
+	}
+}
+
+func parsePrep(s string) (everythinggraph.PrepMethod, error) {
+	switch strings.ToLower(s) {
+	case "dynamic":
+		return everythinggraph.PrepDynamic, nil
+	case "count", "countsort", "count-sort":
+		return everythinggraph.PrepCountSort, nil
+	case "radix", "radixsort", "radix-sort":
+		return everythinggraph.PrepRadixSort, nil
+	default:
+		return 0, fmt.Errorf("unknown pre-processing method %q", s)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "egraph: %v\n", err)
+	os.Exit(1)
+}

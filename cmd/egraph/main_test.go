@@ -1,0 +1,123 @@
+package main
+
+import (
+	"testing"
+
+	everythinggraph "github.com/epfl-repro/everythinggraph"
+)
+
+func TestParseLayout(t *testing.T) {
+	cases := map[string]everythinggraph.Layout{
+		"edgearray":        everythinggraph.LayoutEdgeArray,
+		"edge-array":       everythinggraph.LayoutEdgeArray,
+		"adjacency":        everythinggraph.LayoutAdjacency,
+		"adj":              everythinggraph.LayoutAdjacency,
+		"adjacency-sorted": everythinggraph.LayoutAdjacencySorted,
+		"grid":             everythinggraph.LayoutGrid,
+		"GRID":             everythinggraph.LayoutGrid,
+	}
+	for in, want := range cases {
+		got, err := parseLayout(in)
+		if err != nil || got != want {
+			t.Errorf("parseLayout(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseLayout("bogus"); err == nil {
+		t.Error("expected error for unknown layout")
+	}
+}
+
+func TestParseFlow(t *testing.T) {
+	cases := map[string]everythinggraph.Flow{
+		"push":      everythinggraph.FlowPush,
+		"pull":      everythinggraph.FlowPull,
+		"pushpull":  everythinggraph.FlowPushPull,
+		"push-pull": everythinggraph.FlowPushPull,
+	}
+	for in, want := range cases {
+		got, err := parseFlow(in)
+		if err != nil || got != want {
+			t.Errorf("parseFlow(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseFlow("sideways"); err == nil {
+		t.Error("expected error for unknown flow")
+	}
+}
+
+func TestParseSync(t *testing.T) {
+	cases := map[string]everythinggraph.Sync{
+		"locks":   everythinggraph.SyncLocks,
+		"atomic":  everythinggraph.SyncAtomics,
+		"cas":     everythinggraph.SyncAtomics,
+		"nolock":  everythinggraph.SyncPartitionFree,
+		"no-lock": everythinggraph.SyncPartitionFree,
+	}
+	for in, want := range cases {
+		got, err := parseSync(in)
+		if err != nil || got != want {
+			t.Errorf("parseSync(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseSync("hope"); err == nil {
+		t.Error("expected error for unknown sync mode")
+	}
+}
+
+func TestParsePrep(t *testing.T) {
+	cases := map[string]everythinggraph.PrepMethod{
+		"dynamic":    everythinggraph.PrepDynamic,
+		"count":      everythinggraph.PrepCountSort,
+		"count-sort": everythinggraph.PrepCountSort,
+		"radix":      everythinggraph.PrepRadixSort,
+	}
+	for in, want := range cases {
+		got, err := parsePrep(in)
+		if err != nil || got != want {
+			t.Errorf("parsePrep(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parsePrep("magic"); err == nil {
+		t.Error("expected error for unknown prep method")
+	}
+}
+
+func TestBuildGraphGenerators(t *testing.T) {
+	for _, kind := range []string{"rmat", "twitter", "road", "bipartite"} {
+		g, users, err := buildGraph("", "text", true, kind, 8, 1)
+		if err != nil {
+			t.Fatalf("buildGraph(%q): %v", kind, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("buildGraph(%q) produced an empty graph", kind)
+		}
+		if kind == "bipartite" && users == 0 {
+			t.Fatal("bipartite generator must report the user count")
+		}
+	}
+	if _, _, err := buildGraph("", "text", true, "nope", 8, 1); err == nil {
+		t.Fatal("expected error for unknown generator")
+	}
+	if _, _, err := buildGraph("/does/not/exist", "text", true, "rmat", 8, 1); err == nil {
+		t.Fatal("expected error for missing input file")
+	}
+}
+
+func TestMakeAlgorithm(t *testing.T) {
+	g, _, err := buildGraph("", "text", true, "rmat", 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"bfs", "pagerank", "wcc", "sssp", "spmv", "als"} {
+		alg, err := makeAlgorithm(name, 0, 5, 0, g)
+		if err != nil {
+			t.Fatalf("makeAlgorithm(%q): %v", name, err)
+		}
+		if alg.Name() == "" {
+			t.Fatalf("algorithm %q has no name", name)
+		}
+	}
+	if _, err := makeAlgorithm("sorting-hat", 0, 5, 0, g); err == nil {
+		t.Fatal("expected error for unknown algorithm")
+	}
+}

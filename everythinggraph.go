@@ -1,0 +1,379 @@
+// Package everythinggraph is a multicore graph-processing library that
+// reproduces the system built for the study "Everything you always wanted to
+// know about multicore graph processing but were afraid to ask" (Malicevic,
+// Lepers, Zwaenepoel; USENIX ATC 2017).
+//
+// The library deliberately exposes the paper's decision space as
+// configuration rather than hiding it behind a single "best" implementation:
+//
+//   - Layout: edge array, adjacency lists (CSR, optionally sorted) or a
+//     GridGraph-style grid of cells;
+//   - Pre-processing method: dynamic building, count sort or parallel radix
+//     sort;
+//   - Information flow: push, pull or direction-optimizing push-pull;
+//   - Synchronization: locks, atomics or partition-based lock freedom;
+//   - Placement: interleaved or NUMA-aware (simulated; see internal/numa).
+//
+// Every run reports an end-to-end time breakdown (load, pre-processing,
+// partitioning, algorithm), because the paper's central result is that
+// pre-processing often dominates and must not be ignored.
+//
+// Quick start:
+//
+//	g := everythinggraph.GenerateRMAT(18, 16, 1)
+//	res, err := g.Run(everythinggraph.BFS(0), everythinggraph.Config{
+//		Layout: everythinggraph.LayoutAdjacency,
+//		Flow:   everythinggraph.FlowPush,
+//		Sync:   everythinggraph.SyncAtomics,
+//	})
+//	fmt.Println(res.Breakdown)
+package everythinggraph
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/core"
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/metrics"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+	"github.com/epfl-repro/everythinggraph/internal/storage"
+)
+
+// Re-exported element types.
+type (
+	// Edge is a directed edge (source, destination, weight).
+	Edge = graph.Edge
+	// VertexID identifies a vertex.
+	VertexID = graph.VertexID
+	// Weight is an edge weight.
+	Weight = graph.Weight
+	// Layout selects the in-memory representation iterated by the engine.
+	Layout = graph.Layout
+	// Flow selects push, pull or push-pull propagation.
+	Flow = core.Flow
+	// Sync selects the synchronization discipline.
+	Sync = core.SyncMode
+	// PrepMethod selects how adjacency lists and grids are built.
+	PrepMethod = prep.Method
+	// Algorithm is the contract implemented by every graph algorithm.
+	Algorithm = core.Algorithm
+	// Breakdown is the end-to-end time breakdown of a run.
+	Breakdown = metrics.Breakdown
+	// IterationStats describes one engine iteration.
+	IterationStats = core.IterationStats
+)
+
+// Layout constants.
+const (
+	// LayoutEdgeArray streams the raw edge array (edge-centric).
+	LayoutEdgeArray = graph.LayoutEdgeArray
+	// LayoutAdjacency iterates per-vertex edge arrays (vertex-centric).
+	LayoutAdjacency = graph.LayoutAdjacency
+	// LayoutAdjacencySorted is LayoutAdjacency with neighbour lists sorted
+	// by destination.
+	LayoutAdjacencySorted = graph.LayoutAdjacencySorted
+	// LayoutGrid iterates a 2-D grid of edge cells.
+	LayoutGrid = graph.LayoutGrid
+)
+
+// Flow constants.
+const (
+	// FlowPush propagates from active vertices to their out-neighbours.
+	FlowPush = core.Push
+	// FlowPull lets destinations read from their in-neighbours.
+	FlowPull = core.Pull
+	// FlowPushPull switches per iteration (direction-optimizing).
+	FlowPushPull = core.PushPull
+)
+
+// Sync constants.
+const (
+	// SyncLocks protects destination updates with striped locks.
+	SyncLocks = core.SyncLocks
+	// SyncAtomics uses atomic edge functions.
+	SyncAtomics = core.SyncAtomics
+	// SyncPartitionFree relies on destination ownership (pull mode, grid
+	// columns) to avoid synchronization entirely.
+	SyncPartitionFree = core.SyncPartitionFree
+)
+
+// Pre-processing method constants.
+const (
+	// PrepDynamic grows per-vertex arrays while scanning the input.
+	PrepDynamic = prep.Dynamic
+	// PrepCountSort builds CSR with a two-pass count sort.
+	PrepCountSort = prep.CountSort
+	// PrepRadixSort builds CSR with a parallel 8-bit radix sort.
+	PrepRadixSort = prep.RadixSort
+)
+
+// Graph is a dataset plus whatever layouts have been materialized for it.
+type Graph struct {
+	g *graph.Graph
+}
+
+// NewGraph wraps a raw edge list. If numVertices is zero it is derived from
+// the edges. directed records whether the dataset is directed (undirected
+// datasets store each edge once and are traversed symmetrically).
+func NewGraph(edges []Edge, numVertices int, directed bool) *Graph {
+	return &Graph{g: graph.New(edges, numVertices, directed)}
+}
+
+// Internal exposes the underlying graph for the benchmark harness and tests
+// inside this module.
+func (g *Graph) Internal() *graph.Graph { return g.g }
+
+// NumVertices returns the vertex count.
+func (g *Graph) NumVertices() int { return g.g.NumVertices() }
+
+// NumEdges returns the stored edge count.
+func (g *Graph) NumEdges() int { return g.g.NumEdges() }
+
+// GenerateRMAT generates an RMAT power-law graph with 2^scale vertices and
+// 2^scale*edgeFactor edges (the paper's RMAT-N datasets use edgeFactor 16).
+func GenerateRMAT(scale, edgeFactor int, seed int64) *Graph {
+	return &Graph{g: gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: edgeFactor, Seed: seed})}
+}
+
+// GenerateTwitterProfile generates a directed graph with Twitter-like skew
+// (stand-in for the Twitter follower graph; see DESIGN.md).
+func GenerateTwitterProfile(scale int, seed int64) *Graph {
+	return &Graph{g: gen.TwitterProfile(gen.TwitterProfileOptions{Scale: scale, Seed: seed})}
+}
+
+// GenerateRoad generates an undirected high-diameter road-network-like
+// lattice with width*height vertices (stand-in for the DIMACS US-Road
+// graph).
+func GenerateRoad(width, height int, seed int64) *Graph {
+	return &Graph{g: gen.Road(gen.RoadOptions{Width: width, Height: height, ShortcutFraction: 0.05, Seed: seed, Weighted: true})}
+}
+
+// GenerateBipartite generates a bipartite rating graph with the given user
+// and item counts (stand-in for the Netflix dataset used by ALS).
+func GenerateBipartite(users, items, ratingsPerUser int, seed int64) *Graph {
+	return &Graph{g: gen.Bipartite(gen.BipartiteOptions{Users: users, Items: items, RatingsPerUser: ratingsPerUser, Seed: seed})}
+}
+
+// Device is a (simulated) storage medium used by the loading experiments:
+// loading N bytes from it takes N/bandwidth seconds of simulated time.
+type Device = storage.Device
+
+// The device profiles of the paper's evaluation (Section 3.5).
+var (
+	// DeviceMemory models an already-resident input (zero load time).
+	DeviceMemory = storage.Memory
+	// DeviceSSD models the paper's SATA SSD (380 MB/s).
+	DeviceSSD = storage.SSD
+	// DeviceHDD models the paper's hard drive (100 MB/s).
+	DeviceHDD = storage.HDD
+)
+
+// LoadResult reports an overlapped load: the simulated device time, the
+// measured consumer time and the pipelined end-to-end completion time.
+type LoadResult = storage.LoadResult
+
+// LoadBinaryOverlapped streams a binary edge list as if it were read from
+// the given device, invoking consume for every chunk as it arrives — the
+// mechanism that lets dynamic pre-processing hide behind a slow device
+// (Section 3.4). Pass a nil consumer to just measure the load.
+func LoadBinaryOverlapped(r io.Reader, dev Device, directed bool, consume func(chunk []Edge)) (*Graph, *LoadResult, error) {
+	res, err := storage.LoadOverlapped(r, dev, 0, consume)
+	if err != nil {
+		return nil, nil, err
+	}
+	return NewGraph(res.Edges, 0, directed), res, nil
+}
+
+// LoadBinary reads a graph in the library's binary edge format.
+func LoadBinary(r io.Reader, directed bool) (*Graph, error) {
+	edges, err := storage.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewGraph(edges, 0, directed), nil
+}
+
+// LoadText reads a graph from a whitespace-separated edge list.
+func LoadText(r io.Reader, directed bool) (*Graph, error) {
+	edges, err := storage.ReadText(r)
+	if err != nil {
+		return nil, err
+	}
+	return NewGraph(edges, 0, directed), nil
+}
+
+// WriteBinary writes the graph's edge array in the binary edge format.
+func (g *Graph) WriteBinary(w io.Writer) error {
+	return storage.WriteBinary(w, g.g.EdgeArray.Edges)
+}
+
+// WriteText writes the graph's edge array as a text edge list.
+func (g *Graph) WriteText(w io.Writer) error {
+	return storage.WriteText(w, g.g.EdgeArray.Edges)
+}
+
+// Config selects the techniques for Prepare and Run.
+type Config struct {
+	// Layout selects the data layout (default LayoutAdjacency).
+	Layout Layout
+	// Flow selects push/pull/push-pull (default FlowPush).
+	Flow Flow
+	// Sync selects locks/atomics/partition-free (default SyncAtomics).
+	Sync Sync
+	// Prep selects the pre-processing method (default PrepRadixSort).
+	Prep PrepMethod
+	// SortNeighbors additionally sorts adjacency lists by destination.
+	SortNeighbors bool
+	// Undirected treats the dataset as undirected during pre-processing
+	// (required by WCC on directed inputs). It defaults to the dataset's
+	// own directedness.
+	Undirected *bool
+	// GridP is the grid dimension (0 = the paper's 256, clamped for small
+	// graphs).
+	GridP int
+	// Workers bounds parallelism (0 = all CPUs).
+	Workers int
+	// MaxIterations caps the engine iterations (0 = no cap).
+	MaxIterations int
+	// RecordFrontiers stores per-iteration frontiers for NUMA analysis.
+	RecordFrontiers bool
+	// PushPullAlpha overrides the direction-switch threshold denominator.
+	PushPullAlpha int
+}
+
+// Result reports one end-to-end run.
+type Result struct {
+	// Breakdown is the end-to-end time split (load/pre-process/partition/
+	// algorithm). Prepare fills Preprocess; Run fills Algorithm.
+	Breakdown Breakdown
+	// Run holds the engine's per-iteration statistics.
+	Run *core.Result
+}
+
+// isUndirected resolves the Undirected override.
+func (c Config) isUndirected(g *graph.Graph) bool {
+	if c.Undirected != nil {
+		return *c.Undirected
+	}
+	return !g.Directed
+}
+
+// Prepare builds the layouts required by cfg and returns the time spent.
+// It is idempotent per layout: already-built layouts are not rebuilt.
+func (g *Graph) Prepare(cfg Config) (Breakdown, error) {
+	var bd Breakdown
+	sw := metrics.NewStopwatch()
+	opt := prep.Options{
+		Method:        cfg.Prep,
+		Workers:       cfg.Workers,
+		SortNeighbors: cfg.SortNeighbors || cfg.Layout == LayoutAdjacencySorted,
+		Undirected:    cfg.isUndirected(g.g),
+	}
+	switch cfg.Layout {
+	case LayoutEdgeArray:
+		// Nothing to build: the edge array is the input format, so its
+		// pre-processing cost is exactly zero (Section 3.2 of the paper).
+		return bd, nil
+	case LayoutAdjacency, LayoutAdjacencySorted:
+		dir := prep.Out
+		switch cfg.Flow {
+		case FlowPull:
+			dir = prep.In
+		case FlowPushPull:
+			dir = prep.InOut
+		}
+		if opt.Undirected {
+			// Undirected adjacency lists double the edges; a single set of
+			// per-vertex arrays serves both directions.
+			dir = prep.Out
+		}
+		if err := g.ensureAdjacency(dir, opt); err != nil {
+			return bd, err
+		}
+	case LayoutGrid:
+		if g.g.Grid == nil {
+			if err := prep.BuildGrid(g.g, cfg.GridP, opt); err != nil {
+				return bd, err
+			}
+		}
+	default:
+		return bd, fmt.Errorf("everythinggraph: unknown layout %v", cfg.Layout)
+	}
+	bd.Preprocess = sw.Lap()
+	return bd, nil
+}
+
+// ensureAdjacency builds only the missing adjacency directions.
+func (g *Graph) ensureAdjacency(dir prep.Direction, opt prep.Options) error {
+	switch dir {
+	case prep.Out:
+		if g.g.Out != nil {
+			return nil
+		}
+	case prep.In:
+		if g.g.In != nil {
+			return nil
+		}
+	case prep.InOut:
+		if g.g.Out != nil && g.g.In != nil {
+			return nil
+		}
+		if g.g.Out != nil {
+			dir = prep.In
+		} else if g.g.In != nil {
+			dir = prep.Out
+		}
+	}
+	return prep.BuildAdjacency(g.g, dir, opt)
+}
+
+// Run prepares the graph for cfg (timing the pre-processing) and executes
+// the algorithm, returning the end-to-end breakdown and the engine result.
+func (g *Graph) Run(alg Algorithm, cfg Config) (*Result, error) {
+	prepBD, err := g.Prepare(cfg)
+	if err != nil {
+		return nil, err
+	}
+	engineCfg := core.Config{
+		Layout:          cfg.Layout,
+		Flow:            cfg.Flow,
+		Sync:            cfg.Sync,
+		Workers:         cfg.Workers,
+		PushPullAlpha:   cfg.PushPullAlpha,
+		MaxIterations:   cfg.MaxIterations,
+		RecordFrontiers: cfg.RecordFrontiers,
+	}
+	res, err := core.Run(g.g, alg, engineCfg)
+	if err != nil {
+		return nil, err
+	}
+	bd := prepBD
+	bd.Algorithm = res.AlgorithmTime
+	return &Result{Breakdown: bd, Run: res}, nil
+}
+
+// Algorithm constructors.
+
+// BFS returns a breadth-first search rooted at source.
+func BFS(source VertexID) *algorithms.BFS { return algorithms.NewBFS(source) }
+
+// PageRank returns a PageRank with the paper's defaults (10 iterations,
+// damping 0.85).
+func PageRank() *algorithms.PageRank { return algorithms.NewPageRank() }
+
+// WCC returns a weakly-connected-components computation.
+func WCC() *algorithms.WCC { return algorithms.NewWCC() }
+
+// SSSP returns a single-source shortest-paths computation rooted at source.
+func SSSP(source VertexID) *algorithms.SSSP { return algorithms.NewSSSP(source) }
+
+// SpMV returns a sparse matrix-vector multiplication with an all-ones input
+// vector.
+func SpMV() *algorithms.SpMV { return algorithms.NewSpMV() }
+
+// ALS returns an alternating-least-squares factorization for a bipartite
+// graph whose first `users` vertices are users.
+func ALS(users int) *algorithms.ALS { return algorithms.NewALS(users) }

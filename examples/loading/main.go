@@ -1,0 +1,82 @@
+// Loading: demonstrates the end-to-end view of Section 3.4-3.5 of the
+// paper — when the graph comes from storage rather than memory, the choice
+// of pre-processing method flips, because dynamic adjacency-list building
+// can consume edges while they arrive from the device, whereas radix sort
+// needs the complete input first.
+//
+// The example writes an RMAT edge list to a buffer, then "loads" it from
+// two simulated devices (the paper's 380 MB/s SSD and 100 MB/s HDD),
+// overlapping dynamic CSR construction with the load, and compares the
+// result against loading first and radix-sorting afterwards.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"time"
+
+	everythinggraph "github.com/epfl-repro/everythinggraph"
+)
+
+func main() {
+	const scale = 17
+	g := everythinggraph.GenerateRMAT(scale, 16, 5)
+	fmt.Printf("dataset: %d vertices, %d edges (%d MB on disk)\n\n",
+		g.NumVertices(), g.NumEdges(), g.NumEdges()*12/1e6)
+
+	var encoded bytes.Buffer
+	if err := g.WriteBinary(&encoded); err != nil {
+		log.Fatal(err)
+	}
+	data := encoded.Bytes()
+
+	for _, dev := range []everythinggraph.Device{everythinggraph.DeviceSSD, everythinggraph.DeviceHDD} {
+		fmt.Printf("== loading from %s (%.0f MB/s) ==\n", dev.Name, dev.BandwidthMBps)
+
+		// Strategy 1: dynamic per-vertex arrays built while the edges
+		// stream in. The builder here is a simple per-vertex append — the
+		// point is that its work happens inside the consumer callback and
+		// therefore hides behind the device.
+		perVertex := make([][]everythinggraph.VertexID, g.NumVertices())
+		_, overlapped, err := everythinggraph.LoadBinaryOverlapped(
+			bytes.NewReader(data), dev, true,
+			func(chunk []everythinggraph.Edge) {
+				for _, e := range chunk {
+					perVertex[e.Src] = append(perVertex[e.Src], e.Dst)
+				}
+			})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  dynamic, overlapped with load: end-to-end %v (load %v, build %v hidden behind it)\n",
+			overlapped.EndToEnd.Round(time.Millisecond),
+			overlapped.LoadTime.Round(time.Millisecond),
+			overlapped.ConsumeTime.Round(time.Millisecond))
+
+		// Strategy 2: load everything first (no consumer), then build the
+		// adjacency lists with the radix sort — fastest in memory, but its
+		// work adds to the load time instead of hiding behind it.
+		loaded, pureLoad, err := everythinggraph.LoadBinaryOverlapped(bytes.NewReader(data), dev, true, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		prepStart := time.Now()
+		if _, err := loaded.Prepare(everythinggraph.Config{
+			Layout: everythinggraph.LayoutAdjacency,
+			Prep:   everythinggraph.PrepRadixSort,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		radix := time.Since(prepStart)
+		fmt.Printf("  radix sort after the load:     end-to-end %v (load %v + sort %v)\n\n",
+			(pureLoad.LoadTime + radix).Round(time.Millisecond),
+			pureLoad.LoadTime.Round(time.Millisecond),
+			radix.Round(time.Millisecond))
+	}
+
+	fmt.Println("The dynamic build is essentially free once the device is the bottleneck: it never")
+	fmt.Println("waits on anything but the disk, while the sort-based build adds its full cost on")
+	fmt.Println("top of the load. That is the Table 3 trade-off; only when the input is already in")
+	fmt.Println("memory (no load to hide behind) does radix sort win outright (Table 2).")
+}

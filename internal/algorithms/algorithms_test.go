@@ -1,0 +1,455 @@
+package algorithms
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+// tinyGraph is 0 -> 1 -> 2, 0 -> 2, with weights 1, 2, 5.
+func tinyGraph() *graph.Graph {
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1, W: 1},
+		{Src: 1, Dst: 2, W: 2},
+		{Src: 0, Dst: 2, W: 5},
+	}
+	return graph.New(edges, 3, true)
+}
+
+func TestAtomicAddFloat64(t *testing.T) {
+	var bits uint64
+	storeFloat64(&bits, 1.5)
+	atomicAddFloat64(&bits, 2.25)
+	if got := loadFloat64(&bits); got != 3.75 {
+		t.Fatalf("got %v, want 3.75", got)
+	}
+}
+
+func TestAtomicMinFloat32(t *testing.T) {
+	var bits uint32
+	storeFloat32(&bits, 10)
+	if !atomicMinFloat32(&bits, 4) {
+		t.Fatal("lowering must report true")
+	}
+	if atomicMinFloat32(&bits, 7) {
+		t.Fatal("raising must report false")
+	}
+	if got := loadFloat32(&bits); got != 4 {
+		t.Fatalf("got %v, want 4", got)
+	}
+}
+
+func TestAtomicMinUint32(t *testing.T) {
+	var v uint32 = 9
+	if !atomicMinUint32(&v, 3) || v != 3 {
+		t.Fatalf("min failed: %d", v)
+	}
+	if atomicMinUint32(&v, 5) || v != 3 {
+		t.Fatalf("min raised the value: %d", v)
+	}
+}
+
+func TestAtomicMinFloat32Property(t *testing.T) {
+	f := func(a, b float32) bool {
+		if math.IsNaN(float64(a)) || math.IsNaN(float64(b)) {
+			return true
+		}
+		var bits uint32
+		storeFloat32(&bits, a)
+		atomicMinFloat32(&bits, b)
+		want := a
+		if b < a {
+			want = b
+		}
+		return loadFloat32(&bits) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBFSEdgeFunctions(t *testing.T) {
+	g := tinyGraph()
+	b := NewBFS(0)
+	b.Init(g)
+	if b.Dense() {
+		t.Fatal("BFS must not be dense")
+	}
+	if got := b.InitialFrontier(g).Sparse(); len(got) != 1 || got[0] != 0 {
+		t.Fatalf("initial frontier = %v", got)
+	}
+	b.BeforeIteration(0)
+	if !b.PushEdge(0, 1, 1) {
+		t.Fatal("first discovery must activate")
+	}
+	if b.PushEdge(0, 1, 1) {
+		t.Fatal("second discovery must not re-activate")
+	}
+	if !b.PushEdgeAtomic(0, 2, 1) {
+		t.Fatal("atomic discovery must activate")
+	}
+	if b.Level[1] != 1 || b.Level[2] != 1 {
+		t.Fatalf("levels = %v", b.Level)
+	}
+	if b.Parent[1] != 0 || b.Parent[2] != 0 {
+		t.Fatalf("parents = %v", b.Parent)
+	}
+	if b.PullActive(1) {
+		t.Fatal("discovered vertex must not pull")
+	}
+	if b.Reached() != 3 {
+		t.Fatalf("Reached = %d", b.Reached())
+	}
+	if b.MaxLevel() != 1 {
+		t.Fatalf("MaxLevel = %d", b.MaxLevel())
+	}
+	if b.AfterIteration(0) {
+		t.Fatal("BFS never converges via AfterIteration")
+	}
+	if b.Name() != "bfs" {
+		t.Fatal("wrong name")
+	}
+}
+
+func TestBFSPullEdgeStopsEarly(t *testing.T) {
+	g := tinyGraph()
+	b := NewBFS(0)
+	b.Init(g)
+	b.BeforeIteration(0)
+	changed, done := b.PullEdge(2, 0, 1)
+	if !changed || !done {
+		t.Fatal("pull discovery must report changed and done")
+	}
+}
+
+func TestPageRankMassAndConvergence(t *testing.T) {
+	g := tinyGraph()
+	pr := NewPageRank()
+	pr.Iterations = 3
+	pr.Init(g)
+	if !pr.Dense() {
+		t.Fatal("PageRank is dense")
+	}
+	n := g.NumVertices()
+	if pr.InitialFrontier(g).Count() != n {
+		t.Fatal("initial frontier must be full")
+	}
+	for iter := 0; iter < 3; iter++ {
+		pr.BeforeIteration(iter)
+		for _, e := range g.EdgeArray.Edges {
+			pr.PushEdge(e.Src, e.Dst, e.W)
+		}
+		converged := pr.AfterIteration(iter)
+		if iter < 2 && converged {
+			t.Fatal("converged too early")
+		}
+		if iter == 2 && !converged {
+			t.Fatal("must converge at the configured iteration count")
+		}
+	}
+	// Rank mass: between (1-d) and 1 when dangling mass is dropped.
+	total := pr.TotalRank()
+	if total < 1-pr.Damping-1e-9 || total > 1+1e-9 {
+		t.Fatalf("total rank %v outside [%v, 1]", total, 1-pr.Damping)
+	}
+	// Vertex 2 has two in-edges and no out-edges: it must rank highest.
+	if !(pr.Rank[2] > pr.Rank[1] && pr.Rank[2] > pr.Rank[0]) {
+		t.Fatalf("rank ordering wrong: %v", pr.Rank)
+	}
+	top := pr.Top(2)
+	if top[0] != 2 {
+		t.Fatalf("Top(2) = %v, want vertex 2 first", top)
+	}
+}
+
+func TestPageRankPushPullSameUpdate(t *testing.T) {
+	g := tinyGraph()
+	prPush := NewPageRank()
+	prPush.Init(g)
+	prPull := NewPageRank()
+	prPull.Init(g)
+	prPush.BeforeIteration(0)
+	prPull.BeforeIteration(0)
+	for _, e := range g.EdgeArray.Edges {
+		prPush.PushEdgeAtomic(e.Src, e.Dst, e.W)
+		if changed, done := prPull.PullEdge(e.Dst, e.Src, e.W); changed || done {
+			t.Fatal("PageRank pull must not report activation")
+		}
+	}
+	prPush.AfterIteration(0)
+	prPull.AfterIteration(0)
+	for v := range prPush.Rank {
+		if math.Abs(prPush.Rank[v]-prPull.Rank[v]) > 1e-12 {
+			t.Fatalf("rank mismatch at %d: %v vs %v", v, prPush.Rank[v], prPull.Rank[v])
+		}
+	}
+}
+
+func TestWCCSmallGraph(t *testing.T) {
+	// 0-1 and 2-3 in one direction only; WCC treats them as undirected via
+	// the engine, but the edge functions themselves propagate labels.
+	g := graph.New([]graph.Edge{{Src: 1, Dst: 0}, {Src: 3, Dst: 2}}, 4, false)
+	w := NewWCC()
+	w.Init(g)
+	if w.Dense() {
+		t.Fatal("WCC is frontier-driven")
+	}
+	if w.InitialFrontier(g).Count() != 4 {
+		t.Fatal("all vertices start active")
+	}
+	if !w.PushEdge(0, 1, 1) {
+		t.Fatal("label 0 must win over label 1")
+	}
+	if w.PushEdge(1, 0, 1) {
+		t.Fatal("label must not increase")
+	}
+	if !w.PushEdgeAtomic(2, 3, 1) {
+		t.Fatal("atomic label propagation failed")
+	}
+	if changed, _ := w.PullEdge(3, 2, 1); changed {
+		t.Fatal("label already propagated; pull must not change it again")
+	}
+	if w.NumComponents() != 2 {
+		t.Fatalf("NumComponents = %d, want 2", w.NumComponents())
+	}
+	sizes := w.ComponentSizes()
+	if sizes[0] != 2 || sizes[2] != 2 {
+		t.Fatalf("ComponentSizes = %v", sizes)
+	}
+	if w.AfterIteration(0) {
+		t.Fatal("WCC never converges via AfterIteration")
+	}
+}
+
+func TestSSSPRelaxation(t *testing.T) {
+	g := tinyGraph()
+	s := NewSSSP(0)
+	s.Init(g)
+	if s.Dense() {
+		t.Fatal("SSSP is frontier-driven")
+	}
+	if s.Distance(0) != 0 {
+		t.Fatal("source distance must be 0")
+	}
+	if !math.IsInf(float64(s.Distance(2)), 1) {
+		t.Fatal("unreached distance must be +Inf")
+	}
+	if !s.PushEdge(0, 1, 1) {
+		t.Fatal("relaxation must activate")
+	}
+	if !s.PushEdgeAtomic(0, 2, 5) {
+		t.Fatal("atomic relaxation must activate")
+	}
+	// A shorter path through vertex 1 relaxes vertex 2 again.
+	if changed, done := s.PullEdge(2, 1, 2); !changed || done {
+		t.Fatalf("pull relaxation: changed=%v done=%v", changed, done)
+	}
+	if s.Distance(2) != 3 {
+		t.Fatalf("dist(2) = %v, want 3", s.Distance(2))
+	}
+	// Re-relaxing with a worse distance must not activate.
+	if s.PushEdge(0, 2, 5) {
+		t.Fatal("worse relaxation must not activate")
+	}
+	if s.Reached() != 3 {
+		t.Fatalf("Reached = %d", s.Reached())
+	}
+	d := s.Distances()
+	if d[1] != 1 || d[2] != 3 {
+		t.Fatalf("Distances = %v", d)
+	}
+}
+
+func TestSpMVMatchesManualProduct(t *testing.T) {
+	g := tinyGraph()
+	m := NewSpMVWithVector([]float64{1, 2, 3})
+	m.Init(g)
+	if !m.Dense() {
+		t.Fatal("SpMV is dense")
+	}
+	for _, e := range g.EdgeArray.Edges {
+		m.PushEdgeAtomic(e.Src, e.Dst, e.W)
+	}
+	if !m.AfterIteration(0) {
+		t.Fatal("SpMV must converge after one pass")
+	}
+	got := m.Result()
+	// y[1] = 1*x[0] = 1; y[2] = 2*x[1] + 5*x[0] = 9.
+	want := []float64{0, 1, 9}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("y[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSpMVDefaultVectorIsOnes(t *testing.T) {
+	g := tinyGraph()
+	m := NewSpMV()
+	m.Init(g)
+	for _, x := range m.X {
+		if x != 1 {
+			t.Fatalf("default input vector entry %v, want 1", x)
+		}
+	}
+	// Pull and push produce the same update.
+	m.PullEdge(2, 0, 5)
+	if m.Result()[2] != 5 {
+		t.Fatalf("pull update produced %v", m.Result()[2])
+	}
+}
+
+func TestSolveLinear(t *testing.T) {
+	// 2x + y = 5 ; x + 3y = 10  ->  x = 1, y = 3.
+	a := []float64{2, 1, 1, 3}
+	b := []float64{5, 10}
+	x := solveLinear(append([]float64(nil), a...), b, 2)
+	if math.Abs(x[0]-1) > 1e-9 || math.Abs(x[1]-3) > 1e-9 {
+		t.Fatalf("solution = %v, want [1 3]", x)
+	}
+	// Singular system: must not panic and must return finite values.
+	sing := []float64{1, 1, 1, 1}
+	xs := solveLinear(append([]float64(nil), sing...), []float64{2, 2}, 2)
+	for _, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("singular solve produced %v", xs)
+		}
+	}
+}
+
+func TestSolveLinearRandomSPDProperty(t *testing.T) {
+	// For random symmetric positive-definite systems (built as M^T M + I),
+	// the solver must satisfy A x ≈ b.
+	f := func(seed int64) bool {
+		const k = 4
+		rng := newRand(seed)
+		m := make([]float64, k*k)
+		for i := range m {
+			m[i] = rng.Float64()*2 - 1
+		}
+		a := make([]float64, k*k)
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				sum := 0.0
+				for l := 0; l < k; l++ {
+					sum += m[l*k+i] * m[l*k+j]
+				}
+				if i == j {
+					sum += 1
+				}
+				a[i*k+j] = sum
+			}
+		}
+		b := make([]float64, k)
+		for i := range b {
+			b[i] = rng.Float64() * 10
+		}
+		x := solveLinear(append([]float64(nil), a...), b, k)
+		for i := 0; i < k; i++ {
+			sum := 0.0
+			for j := 0; j < k; j++ {
+				sum += a[i*k+j] * x[j]
+			}
+			if math.Abs(sum-b[i]) > 1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestALSValidateAndSides(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 2, W: 4}, {Src: 1, Dst: 3, W: 2}}
+	g := graph.New(edges, 4, false)
+	a := NewALS(2)
+	if err := a.Validate(g); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	bad := NewALS(0)
+	if err := bad.Validate(g); err == nil {
+		t.Fatal("expected error for user count 0")
+	}
+	nonBip := graph.New([]graph.Edge{{Src: 0, Dst: 1}}, 4, false)
+	if err := a.Validate(nonBip); err == nil {
+		t.Fatal("expected error for non-bipartite edge")
+	}
+	a.Init(g)
+	if !a.Dense() {
+		t.Fatal("ALS is dense")
+	}
+	// Iteration 0 updates users: items must not pull, users must.
+	a.BeforeIteration(0)
+	if !a.PullActive(0) || a.PullActive(2) {
+		t.Fatal("iteration 0 must update the user side")
+	}
+	a.BeforeIteration(1)
+	if a.PullActive(0) || !a.PullActive(2) {
+		t.Fatal("iteration 1 must update the item side")
+	}
+}
+
+func TestALSFactorizationReducesError(t *testing.T) {
+	// A small synthetic rating matrix with clear structure: users 0..4 love
+	// item A (rating 5) and dislike item B (rating 1); users 5..9 the
+	// opposite. ALS must fit these ratings well.
+	const users = 10
+	var edges []graph.Edge
+	itemA := graph.VertexID(users)
+	itemB := graph.VertexID(users + 1)
+	for u := 0; u < users; u++ {
+		var ra, rb graph.Weight = 5, 1
+		if u >= 5 {
+			ra, rb = 1, 5
+		}
+		edges = append(edges, graph.Edge{Src: graph.VertexID(u), Dst: itemA, W: ra})
+		edges = append(edges, graph.Edge{Src: graph.VertexID(u), Dst: itemB, W: rb})
+	}
+	g := graph.New(edges, users+2, false)
+
+	a := NewALS(users)
+	a.Factors = 4
+	a.Sweeps = 8
+	a.Lambda = 0.05
+	a.Init(g)
+	before := a.RMSE(edges)
+
+	// Drive the algorithm directly (push on the undirected view), exactly
+	// as the engine would.
+	for iter := 0; ; iter++ {
+		a.BeforeIteration(iter)
+		for _, e := range edges {
+			// Undirected: both directions.
+			a.PushEdge(e.Src, e.Dst, e.W)
+			a.PushEdge(e.Dst, e.Src, e.W)
+		}
+		if a.AfterIteration(iter) {
+			break
+		}
+	}
+	after := a.RMSE(edges)
+	if after >= before {
+		t.Fatalf("RMSE did not improve: before=%v after=%v", before, after)
+	}
+	if after > 0.8 {
+		t.Fatalf("RMSE too high after training: %v", after)
+	}
+	// Predictions reflect the structure: user 0 prefers item A.
+	if a.Predict(0, itemA) <= a.Predict(0, itemB) {
+		t.Fatalf("user 0 should prefer item A: %v vs %v", a.Predict(0, itemA), a.Predict(0, itemB))
+	}
+}
+
+func TestALSNamesAndRMSEEmpty(t *testing.T) {
+	a := NewALS(4)
+	if a.Name() != "als" {
+		t.Fatal("wrong name")
+	}
+	if a.RMSE(nil) != 0 {
+		t.Fatal("RMSE of no edges must be 0")
+	}
+}

@@ -1,0 +1,108 @@
+package algorithms
+
+import (
+	"math"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+// SSSP computes single-source shortest paths with a frontier-driven
+// Bellman-Ford relaxation: active vertices relax their outgoing edges and
+// activate any destination whose distance improved. It behaves like BFS
+// with the difference the paper highlights in Section 8: a vertex can be
+// updated many times, so both the iteration count and the per-iteration
+// frontier sizes are larger.
+type SSSP struct {
+	// Source is the origin of the paths.
+	Source graph.VertexID
+
+	// dist holds the tentative distances as float32 bit patterns so the
+	// atomic edge functions can CAS them.
+	dist []uint32
+}
+
+// NewSSSP creates an SSSP instance rooted at source.
+func NewSSSP(source graph.VertexID) *SSSP { return &SSSP{Source: source} }
+
+// Name implements Algorithm.
+func (s *SSSP) Name() string { return "sssp" }
+
+// Dense implements Algorithm.
+func (s *SSSP) Dense() bool { return false }
+
+// Init implements Algorithm.
+func (s *SSSP) Init(g *graph.Graph) {
+	n := g.NumVertices()
+	s.dist = make([]uint32, n)
+	inf := math.Float32bits(float32(math.Inf(1)))
+	for v := range s.dist {
+		s.dist[v] = inf
+	}
+	storeFloat32(&s.dist[s.Source], 0)
+}
+
+// InitialFrontier implements Algorithm.
+func (s *SSSP) InitialFrontier(g *graph.Graph) *graph.Frontier {
+	return graph.NewFrontierFromSparse(g.NumVertices(), []graph.VertexID{s.Source})
+}
+
+// BeforeIteration implements Algorithm.
+func (s *SSSP) BeforeIteration(int) {}
+
+// AfterIteration implements Algorithm: relaxation stops when no distance
+// improves (empty frontier).
+func (s *SSSP) AfterIteration(int) bool { return false }
+
+// PushEdge implements Algorithm: relax u -> v.
+func (s *SSSP) PushEdge(u, v graph.VertexID, w graph.Weight) bool {
+	nd := loadFloat32(&s.dist[u]) + float32(w)
+	if nd < loadFloat32(&s.dist[v]) {
+		storeFloat32(&s.dist[v], nd)
+		return true
+	}
+	return false
+}
+
+// PushEdgeAtomic implements Algorithm: relax with an atomic minimum.
+func (s *SSSP) PushEdgeAtomic(u, v graph.VertexID, w graph.Weight) bool {
+	nd := loadFloat32(&s.dist[u]) + float32(w)
+	return atomicMinFloat32(&s.dist[v], nd)
+}
+
+// PullActive implements Algorithm: every vertex may still improve.
+func (s *SSSP) PullActive(graph.VertexID) bool { return true }
+
+// PullEdge implements Algorithm: v relaxes over the active in-neighbour u.
+func (s *SSSP) PullEdge(v, u graph.VertexID, w graph.Weight) (bool, bool) {
+	nd := loadFloat32(&s.dist[u]) + float32(w)
+	if nd < loadFloat32(&s.dist[v]) {
+		storeFloat32(&s.dist[v], nd)
+		return true, false
+	}
+	return false, false
+}
+
+// Distance returns the computed distance of v (+Inf if unreachable).
+func (s *SSSP) Distance(v graph.VertexID) float32 {
+	return loadFloat32(&s.dist[v])
+}
+
+// Distances copies all distances into a new slice.
+func (s *SSSP) Distances() []float32 {
+	out := make([]float32, len(s.dist))
+	for v := range s.dist {
+		out[v] = loadFloat32(&s.dist[uint32(v)])
+	}
+	return out
+}
+
+// Reached counts the vertices with a finite distance.
+func (s *SSSP) Reached() int {
+	count := 0
+	for v := range s.dist {
+		if !math.IsInf(float64(loadFloat32(&s.dist[v])), 1) {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/cachesim"
+	"github.com/epfl-repro/everythinggraph/internal/core"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/metrics"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Figure 3: data layout vs traversal model (BFS, PageRank, SpMV on adjacency lists vs edge array)",
+		Run:   runFig3,
+	})
+	register(Experiment{
+		ID:    "table4",
+		Title: "Table 4: LLC miss ratio of BFS and PageRank on edge array, grid, adjacency list (sorted and unsorted)",
+		Run:   runTable4,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Figure 5: cache-related optimizations, end-to-end (unsorted/sorted adjacency, edge array, grid)",
+		Run:   runFig5,
+	})
+}
+
+// bfsMetaBytes and prMetaBytes are the per-vertex metadata footprints used
+// by the cache traces, matching the paper's observation that a cache line
+// holds ~64 BFS vertices and ~6 PageRank vertices.
+const (
+	bfsMetaBytes = 1
+	prMetaBytes  = 12
+)
+
+// runFig3 compares vertex-centric computation on adjacency lists against
+// edge-centric computation on the raw edge array for three algorithms with
+// very different algorithm-time profiles.
+func runFig3(s Scale, w io.Writer) error {
+	base := rmatGraph(s)
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Figure 3: layout vs traversal on RMAT%d (%d edges)", s.RMATScale, base.NumEdges()),
+		"preprocess", "algorithm", "total")
+
+	type algoCase struct {
+		name string
+		alg  func() core.Algorithm
+	}
+	cases := []algoCase{
+		{"bfs", func() core.Algorithm { return algorithms.NewBFS(0) }},
+		{"pagerank", func() core.Algorithm {
+			pr := algorithms.NewPageRank()
+			pr.Iterations = s.PagerankIterations
+			return pr
+		}},
+		{"spmv", func() core.Algorithm { return algorithms.NewSpMV() }},
+	}
+
+	for _, c := range cases {
+		// Vertex-centric on adjacency lists (radix-built, outgoing only).
+		g := freshCopy(base)
+		prepTime, err := buildAdjacencyTimed(g, prep.Out, prep.Options{Method: prep.RadixSort, Workers: s.Workers})
+		if err != nil {
+			return err
+		}
+		res, err := runAlgorithm(g, c.alg(), core.Config{
+			Layout: graph.LayoutAdjacency, Flow: core.Push, Sync: core.SyncAtomics, Workers: s.Workers,
+		})
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(c.name+" / adj. list", breakdownRow(metrics.Breakdown{Preprocess: prepTime, Algorithm: res.AlgorithmTime}))
+
+		// Edge-centric on the raw edge array (zero pre-processing).
+		ge := freshCopy(base)
+		resE, err := runAlgorithm(ge, c.alg(), core.Config{
+			Layout: graph.LayoutEdgeArray, Flow: core.Push, Sync: core.SyncAtomics, Workers: s.Workers,
+		})
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(c.name+" / edge array", breakdownRow(metrics.Breakdown{Algorithm: resE.AlgorithmTime}))
+	}
+	return writeTable(w, tbl)
+}
+
+// runTable4 replays the traversal access patterns of the four layouts
+// through the LLC model for BFS-like (1 byte/vertex) and PageRank-like
+// (12 bytes/vertex) metadata footprints.
+func runTable4(s Scale, w io.Writer) error {
+	base := rmatGraph(s)
+	edges := base.EdgeArray.Edges
+	if len(edges) > s.CacheTraceEdges && s.CacheTraceEdges > 0 {
+		edges = edges[:s.CacheTraceEdges]
+	}
+	sub := graph.New(edges, base.NumVertices(), true)
+
+	// Build the layouts the traces walk over.
+	adj := freshCopy(sub)
+	if err := prep.BuildAdjacency(adj, prep.Out, prep.Options{Method: prep.RadixSort, Workers: s.Workers}); err != nil {
+		return err
+	}
+	adjSorted := freshCopy(sub)
+	if err := prep.BuildAdjacency(adjSorted, prep.Out, prep.Options{Method: prep.RadixSort, Workers: s.Workers, SortNeighbors: true}); err != nil {
+		return err
+	}
+	grid := freshCopy(sub)
+	if err := prep.BuildGrid(grid, s.GridP, prep.Options{Method: prep.RadixSort, Workers: s.Workers}); err != nil {
+		return err
+	}
+
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Table 4: LLC miss ratio on RMAT%d (%d traced edges)", s.RMATScale, len(edges)),
+		"bfs", "pagerank")
+
+	cacheCfg := traceCache(base.NumVertices())
+	addRow := func(label string, run func(meta int) cachesim.Result) {
+		bfsRes := run(bfsMetaBytes)
+		prRes := run(prMetaBytes)
+		tbl.AddRow(label, map[string]string{
+			"bfs":      metrics.FormatRatio(bfsRes.MissRatio),
+			"pagerank": metrics.FormatRatio(prRes.MissRatio),
+		})
+	}
+	addRow("edge array", func(meta int) cachesim.Result {
+		return cachesim.TraceEdgeArray(sub.EdgeArray.Edges, sub.NumVertices(), cachesim.LayoutTraceOptions{MetaBytes: meta, Cache: cacheCfg})
+	})
+	addRow("grid", func(meta int) cachesim.Result {
+		return cachesim.TraceGrid(grid.Grid, cachesim.LayoutTraceOptions{MetaBytes: meta, Cache: cacheCfg})
+	})
+	addRow("adjacency list", func(meta int) cachesim.Result {
+		return cachesim.TraceAdjacency(adj.Out, cachesim.LayoutTraceOptions{MetaBytes: meta, Cache: cacheCfg})
+	})
+	addRow("adjacency list sorted", func(meta int) cachesim.Result {
+		return cachesim.TraceAdjacency(adjSorted.Out, cachesim.LayoutTraceOptions{MetaBytes: meta, Cache: cacheCfg})
+	})
+	return writeTable(w, tbl)
+}
+
+// runFig5 measures the end-to-end impact of the cache-locality layouts:
+// unsorted adjacency, destination-sorted adjacency, raw edge array and the
+// grid, for BFS and PageRank.
+func runFig5(s Scale, w io.Writer) error {
+	base := rmatGraph(s)
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Figure 5: cache optimizations end-to-end on RMAT%d (%d edges)", s.RMATScale, base.NumEdges()),
+		"preprocess", "algorithm", "total")
+
+	type algoCase struct {
+		name string
+		alg  func() core.Algorithm
+	}
+	cases := []algoCase{
+		{"bfs", func() core.Algorithm { return algorithms.NewBFS(0) }},
+		{"pagerank", func() core.Algorithm {
+			pr := algorithms.NewPageRank()
+			pr.Iterations = s.PagerankIterations
+			return pr
+		}},
+	}
+
+	for _, c := range cases {
+		// Unsorted adjacency list.
+		{
+			g := freshCopy(base)
+			prepTime, err := buildAdjacencyTimed(g, prep.Out, prep.Options{Method: prep.RadixSort, Workers: s.Workers})
+			if err != nil {
+				return err
+			}
+			res, err := runAlgorithm(g, c.alg(), core.Config{Layout: graph.LayoutAdjacency, Flow: core.Push, Sync: core.SyncAtomics, Workers: s.Workers})
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(c.name+" / adj. unsorted", breakdownRow(metrics.Breakdown{Preprocess: prepTime, Algorithm: res.AlgorithmTime}))
+		}
+		// Sorted adjacency list.
+		{
+			g := freshCopy(base)
+			prepTime, err := buildAdjacencyTimed(g, prep.Out, prep.Options{Method: prep.RadixSort, Workers: s.Workers, SortNeighbors: true})
+			if err != nil {
+				return err
+			}
+			res, err := runAlgorithm(g, c.alg(), core.Config{Layout: graph.LayoutAdjacencySorted, Flow: core.Push, Sync: core.SyncAtomics, Workers: s.Workers})
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(c.name+" / adj. sorted", breakdownRow(metrics.Breakdown{Preprocess: prepTime, Algorithm: res.AlgorithmTime}))
+		}
+		// Edge array.
+		{
+			g := freshCopy(base)
+			res, err := runAlgorithm(g, c.alg(), core.Config{Layout: graph.LayoutEdgeArray, Flow: core.Push, Sync: core.SyncAtomics, Workers: s.Workers})
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(c.name+" / edge array", breakdownRow(metrics.Breakdown{Algorithm: res.AlgorithmTime}))
+		}
+		// Grid.
+		{
+			g := freshCopy(base)
+			prepTime, err := buildGridTimed(g, s.GridP, prep.Options{Method: prep.RadixSort, Workers: s.Workers})
+			if err != nil {
+				return err
+			}
+			res, err := runAlgorithm(g, c.alg(), core.Config{Layout: graph.LayoutGrid, Flow: core.Push, Sync: core.SyncPartitionFree, Workers: s.Workers})
+			if err != nil {
+				return err
+			}
+			tbl.AddRow(c.name+" / grid", breakdownRow(metrics.Breakdown{Preprocess: prepTime, Algorithm: res.AlgorithmTime}))
+		}
+	}
+	return writeTable(w, tbl)
+}

@@ -1,0 +1,248 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/core"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/metrics"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "table1",
+		Title: "Table 1: datasets used in the evaluation (generator presets at the configured scale)",
+		Run:   runTable1,
+	})
+	register(Experiment{
+		ID:    "table5",
+		Title: "Table 5: best end-to-end approaches for BFS and PageRank on the Twitter-profile and road graphs",
+		Run:   runTable5,
+	})
+	register(Experiment{
+		ID:    "table6",
+		Title: "Table 6: best end-to-end approaches for WCC, SpMV, SSSP and ALS",
+		Run:   runTable6,
+	})
+}
+
+// runTable1 reports the generated datasets and their sizes at the current
+// scale, alongside the sizes of the originals used by the paper.
+func runTable1(s Scale, w io.Writer) error {
+	tbl := metrics.NewTable("Table 1: datasets (generated stand-ins; paper originals in parentheses)",
+		"vertices", "edges", "paper original")
+
+	rmat := rmatGraph(s)
+	tbl.AddRow(fmt.Sprintf("RMAT%d", s.RMATScale), map[string]string{
+		"vertices":       fmtCount(rmat.NumVertices()),
+		"edges":          fmtCount(rmat.NumEdges()),
+		"paper original": "RMAT-N: 2^N vertices, 2^(N+4) edges",
+	})
+	tw := twitterGraph(s)
+	tbl.AddRow("Twitter-profile", map[string]string{
+		"vertices":       fmtCount(tw.NumVertices()),
+		"edges":          fmtCount(tw.NumEdges()),
+		"paper original": "Twitter: 62M vertices, 1468M edges",
+	})
+	road := roadGraph(s)
+	tbl.AddRow("US-Road-profile", map[string]string{
+		"vertices":       fmtCount(road.NumVertices()),
+		"edges":          fmtCount(road.NumEdges()),
+		"paper original": "US-Road: 23.9M vertices, 58M edges",
+	})
+	bi := bipartiteGraph(s)
+	tbl.AddRow("Netflix-profile", map[string]string{
+		"vertices":       fmtCount(bi.NumVertices()),
+		"edges":          fmtCount(bi.NumEdges()),
+		"paper original": "Netflix: 0.5M vertices, 100M edges",
+	})
+	return writeTable(w, tbl)
+}
+
+// bestCase describes one row of Tables 5 and 6: an algorithm, a dataset and
+// the configuration the paper found best end-to-end.
+type bestCase struct {
+	label      string
+	makeGraph  func(s Scale) *graph.Graph
+	alg        func(g *graph.Graph, s Scale) core.Algorithm
+	layout     graph.Layout
+	flow       core.Flow
+	sync       core.SyncMode
+	direction  prep.Direction
+	undirected bool
+	useGrid    bool
+}
+
+// runBestCase builds the configured layout, runs the algorithm and adds the
+// breakdown row.
+func runBestCase(tbl *metrics.Table, c bestCase, s Scale) error {
+	base := c.makeGraph(s)
+	g := freshCopy(base)
+	opt := prep.Options{Method: prep.RadixSort, Workers: s.Workers, Undirected: c.undirected}
+
+	var prepTime metrics.Breakdown
+	switch {
+	case c.useGrid:
+		d, err := buildGridTimed(g, s.GridP, opt)
+		if err != nil {
+			return err
+		}
+		prepTime.Preprocess = d
+	case c.layout == graph.LayoutAdjacency || c.layout == graph.LayoutAdjacencySorted:
+		d, err := buildAdjacencyTimed(g, c.direction, opt)
+		if err != nil {
+			return err
+		}
+		prepTime.Preprocess = d
+	default:
+		// Edge array: no pre-processing.
+	}
+
+	res, err := runAlgorithm(g, c.alg(g, s), core.Config{
+		Layout: c.layout, Flow: c.flow, Sync: c.sync, Workers: s.Workers,
+	})
+	if err != nil {
+		return err
+	}
+	b := prepTime
+	b.Algorithm = res.AlgorithmTime
+	tbl.AddRow(c.label, breakdownRow(b))
+	return nil
+}
+
+// runTable5 reproduces the paper's best-approach table for BFS and PageRank
+// on the Twitter-profile and road graphs.
+func runTable5(s Scale, w io.Writer) error {
+	tbl := metrics.NewTable("Table 5: best approaches for BFS and PageRank",
+		"preprocess", "algorithm", "total")
+	cases := []bestCase{
+		{
+			label:     "bfs / twitter / adj. list / push",
+			makeGraph: twitterGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewBFS(0) },
+			layout:    graph.LayoutAdjacency, flow: core.Push, sync: core.SyncAtomics, direction: prep.Out,
+		},
+		{
+			label:     "bfs / us-road / adj. list / push",
+			makeGraph: roadGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewBFS(0) },
+			layout:    graph.LayoutAdjacency, flow: core.Push, sync: core.SyncAtomics, direction: prep.Out,
+			undirected: true,
+		},
+		{
+			label:     "pagerank / twitter / grid / pull (no lock)",
+			makeGraph: twitterGraph,
+			alg: func(_ *graph.Graph, s Scale) core.Algorithm {
+				pr := algorithms.NewPageRank()
+				pr.Iterations = s.PagerankIterations
+				return pr
+			},
+			layout: graph.LayoutGrid, flow: core.Pull, sync: core.SyncPartitionFree, useGrid: true,
+		},
+		{
+			label:     "pagerank / us-road / edge array / pull",
+			makeGraph: roadGraph,
+			alg: func(_ *graph.Graph, s Scale) core.Algorithm {
+				pr := algorithms.NewPageRank()
+				pr.Iterations = s.PagerankIterations
+				return pr
+			},
+			layout: graph.LayoutEdgeArray, flow: core.Pull, sync: core.SyncAtomics,
+		},
+	}
+	for _, c := range cases {
+		if err := runBestCase(tbl, c, s); err != nil {
+			return err
+		}
+	}
+	return writeTable(w, tbl)
+}
+
+// runTable6 reproduces the best-approach table for WCC, SpMV, SSSP and ALS.
+func runTable6(s Scale, w io.Writer) error {
+	tbl := metrics.NewTable("Table 6: best approaches for WCC, SpMV, SSSP and ALS",
+		"preprocess", "algorithm", "total")
+	cases := []bestCase{
+		// WCC: edge arrays win on low-diameter graphs (no undirected
+		// doubling cost), adjacency lists on the high-diameter road graph.
+		{
+			label:     "wcc / rmat / edge array / push",
+			makeGraph: rmatGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewWCC() },
+			layout:    graph.LayoutEdgeArray, flow: core.Push, sync: core.SyncAtomics,
+		},
+		{
+			label:     "wcc / twitter / edge array / push",
+			makeGraph: twitterGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewWCC() },
+			layout:    graph.LayoutEdgeArray, flow: core.Push, sync: core.SyncAtomics,
+		},
+		{
+			label:     "wcc / us-road / adj. list / push",
+			makeGraph: roadGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewWCC() },
+			layout:    graph.LayoutAdjacency, flow: core.Push, sync: core.SyncAtomics, direction: prep.Out,
+			undirected: true,
+		},
+		// SpMV: single pass, edge array always.
+		{
+			label:     "spmv / rmat / edge array / push",
+			makeGraph: rmatGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewSpMV() },
+			layout:    graph.LayoutEdgeArray, flow: core.Push, sync: core.SyncAtomics,
+		},
+		{
+			label:     "spmv / twitter / edge array / push",
+			makeGraph: twitterGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewSpMV() },
+			layout:    graph.LayoutEdgeArray, flow: core.Push, sync: core.SyncAtomics,
+		},
+		{
+			label:     "spmv / us-road / edge array / push",
+			makeGraph: roadGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewSpMV() },
+			layout:    graph.LayoutEdgeArray, flow: core.Push, sync: core.SyncAtomics,
+		},
+		// SSSP: like BFS, adjacency lists with push.
+		{
+			label:     "sssp / rmat / adj. list / push",
+			makeGraph: rmatGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewSSSP(0) },
+			layout:    graph.LayoutAdjacency, flow: core.Push, sync: core.SyncAtomics, direction: prep.Out,
+		},
+		{
+			label:     "sssp / twitter / adj. list / push",
+			makeGraph: twitterGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewSSSP(0) },
+			layout:    graph.LayoutAdjacency, flow: core.Push, sync: core.SyncAtomics, direction: prep.Out,
+		},
+		{
+			label:     "sssp / us-road / adj. list / push",
+			makeGraph: roadGraph,
+			alg:       func(*graph.Graph, Scale) core.Algorithm { return algorithms.NewSSSP(0) },
+			layout:    graph.LayoutAdjacency, flow: core.Push, sync: core.SyncAtomics, direction: prep.Out,
+			undirected: true,
+		},
+		// ALS on the bipartite rating graph: adjacency lists, pull, no lock.
+		{
+			label:     "als / netflix / adj. list / pull (no lock)",
+			makeGraph: bipartiteGraph,
+			alg: func(g *graph.Graph, s Scale) core.Algorithm {
+				als := algorithms.NewALS(s.BipartiteUsers)
+				als.Sweeps = 3
+				return als
+			},
+			layout: graph.LayoutAdjacency, flow: core.Pull, sync: core.SyncPartitionFree, direction: prep.Out,
+			undirected: true,
+		},
+	}
+	for _, c := range cases {
+		if err := runBestCase(tbl, c, s); err != nil {
+			return err
+		}
+	}
+	return writeTable(w, tbl)
+}

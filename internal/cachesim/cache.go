@@ -1,0 +1,166 @@
+// Package cachesim models the last-level cache (LLC) behaviour that the
+// paper measures with hardware performance counters (the LLC-miss columns of
+// Table 2 and Table 4). Go programs cannot read performance counters
+// portably, so the reproduction replays the memory-access patterns of the
+// pre-processing methods and of the traversal over each data layout against
+// a set-associative cache model and reports the resulting miss ratios.
+//
+// The point of those tables is relative, not absolute: radix sort misses far
+// less than count sort or dynamic building because its buckets are written
+// sequentially, and the grid layout misses far less than edge arrays or
+// adjacency lists because each cell confines vertex-metadata accesses to a
+// cache-sized range. Those orderings come directly out of the access
+// patterns, which are replayed faithfully here.
+package cachesim
+
+// LineSize is the cache line size in bytes, matching the evaluation
+// machines.
+const LineSize = 64
+
+// Config describes a cache.
+type Config struct {
+	// SizeBytes is the total capacity (e.g. 16 MB for machine B's LLC,
+	// 20 MB for machine A's).
+	SizeBytes int
+	// Ways is the associativity.
+	Ways int
+}
+
+// MachineB is the LLC of the paper's machine B (AMD Opteron 6272, 16 MB
+// LLC), the default machine of the evaluation.
+var MachineB = Config{SizeBytes: 16 << 20, Ways: 16}
+
+// MachineA is the LLC of the paper's machine A (Intel Xeon E5-2630, 20 MB
+// LLC).
+var MachineA = Config{SizeBytes: 20 << 20, Ways: 20}
+
+// Cache is a set-associative cache with LRU replacement. It tracks accesses
+// and misses; writes and reads are treated identically (write-allocate),
+// which matches the inclusive LLC behaviour relevant to the miss-ratio
+// measurements.
+type Cache struct {
+	sets    int
+	ways    int
+	lines   []uint64 // sets*ways line tags, LRU-ordered within each set (index 0 = MRU)
+	valid   []bool
+	hits    uint64
+	misses  uint64
+}
+
+// New creates a cache from a configuration. The set count is derived from
+// the size, associativity and line size; it is rounded down to a power of
+// two for cheap indexing.
+func New(cfg Config) *Cache {
+	if cfg.SizeBytes <= 0 {
+		cfg = MachineB
+	}
+	if cfg.Ways <= 0 {
+		cfg.Ways = 16
+	}
+	sets := cfg.SizeBytes / (LineSize * cfg.Ways)
+	if sets < 1 {
+		sets = 1
+	}
+	// Round down to a power of two.
+	p := 1
+	for p*2 <= sets {
+		p *= 2
+	}
+	sets = p
+	return &Cache{
+		sets:  sets,
+		ways:  cfg.Ways,
+		lines: make([]uint64, sets*cfg.Ways),
+		valid: make([]bool, sets*cfg.Ways),
+	}
+}
+
+// Sets returns the number of sets (exposed for tests).
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// Access simulates a memory access of `size` bytes starting at `addr`,
+// touching every cache line the range covers.
+func (c *Cache) Access(addr uint64, size int) {
+	if size <= 0 {
+		size = 1
+	}
+	first := addr / LineSize
+	last := (addr + uint64(size) - 1) / LineSize
+	for line := first; line <= last; line++ {
+		c.accessLine(line)
+	}
+}
+
+func (c *Cache) accessLine(line uint64) {
+	set := int(line) & (c.sets - 1)
+	base := set * c.ways
+	// Search the set.
+	for w := 0; w < c.ways; w++ {
+		if c.valid[base+w] && c.lines[base+w] == line {
+			// Hit: move to MRU position.
+			copy(c.lines[base+1:base+w+1], c.lines[base:base+w])
+			copy(c.valid[base+1:base+w+1], c.valid[base:base+w])
+			c.lines[base] = line
+			c.valid[base] = true
+			c.hits++
+			return
+		}
+	}
+	// Miss: evict LRU (last way), insert at MRU.
+	c.misses++
+	copy(c.lines[base+1:base+c.ways], c.lines[base:base+c.ways-1])
+	copy(c.valid[base+1:base+c.ways], c.valid[base:base+c.ways-1])
+	c.lines[base] = line
+	c.valid[base] = true
+}
+
+// Accesses returns the total number of line accesses simulated.
+func (c *Cache) Accesses() uint64 { return c.hits + c.misses }
+
+// Misses returns the number of line misses.
+func (c *Cache) Misses() uint64 { return c.misses }
+
+// Hits returns the number of line hits.
+func (c *Cache) Hits() uint64 { return c.hits }
+
+// MissRatio returns misses/accesses (0 if nothing was accessed).
+func (c *Cache) MissRatio() float64 {
+	total := c.Accesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(c.misses) / float64(total)
+}
+
+// Reset clears contents and counters.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// AddressSpace hands out disjoint synthetic address ranges for the data
+// structures whose accesses are being replayed (edge arrays, per-vertex
+// metadata, CSR index, and so on). Regions are line-aligned so that
+// different structures never share a cache line.
+type AddressSpace struct {
+	next uint64
+}
+
+// NewAddressSpace returns an empty address space.
+func NewAddressSpace() *AddressSpace {
+	// Start away from zero so that "address 0" bugs are visible.
+	return &AddressSpace{next: 1 << 20}
+}
+
+// Alloc reserves size bytes and returns the base address of the region.
+func (s *AddressSpace) Alloc(size int) uint64 {
+	base := s.next
+	aligned := (uint64(size) + LineSize - 1) / LineSize * LineSize
+	s.next += aligned + LineSize // guard line between regions
+	return base
+}

@@ -1,0 +1,245 @@
+package cachesim
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+func TestCacheGeometry(t *testing.T) {
+	c := New(Config{SizeBytes: 64 * 1024, Ways: 4})
+	// 64 KiB / (64 B * 4 ways) = 256 sets.
+	if c.Sets() != 256 {
+		t.Fatalf("Sets = %d, want 256", c.Sets())
+	}
+	if c.Ways() != 4 {
+		t.Fatalf("Ways = %d, want 4", c.Ways())
+	}
+	// Zero config falls back to machine B.
+	d := New(Config{})
+	if d.Sets() == 0 || d.Ways() != 16 {
+		t.Fatalf("default cache geometry wrong: sets=%d ways=%d", d.Sets(), d.Ways())
+	}
+}
+
+func TestCacheHitAfterMiss(t *testing.T) {
+	c := New(Config{SizeBytes: 4 * 1024, Ways: 2})
+	c.Access(0, 4)
+	if c.Misses() != 1 || c.Hits() != 0 {
+		t.Fatalf("first access: misses=%d hits=%d", c.Misses(), c.Hits())
+	}
+	c.Access(4, 4) // same line
+	if c.Hits() != 1 {
+		t.Fatalf("second access to the same line must hit, hits=%d", c.Hits())
+	}
+	c.Access(63, 1) // still the same line
+	c.Access(64, 1) // next line
+	if c.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2", c.Misses())
+	}
+}
+
+func TestCacheAccessSpanningLines(t *testing.T) {
+	c := New(Config{SizeBytes: 4 * 1024, Ways: 2})
+	c.Access(60, 8) // crosses a line boundary
+	if c.Accesses() != 2 || c.Misses() != 2 {
+		t.Fatalf("spanning access: accesses=%d misses=%d, want 2/2", c.Accesses(), c.Misses())
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// 1 set, 2 ways: three distinct lines mapping to the same set must evict
+	// the least recently used one.
+	c := New(Config{SizeBytes: 2 * LineSize, Ways: 2})
+	if c.Sets() != 1 {
+		t.Fatalf("expected a single set, got %d", c.Sets())
+	}
+	c.Access(0*LineSize, 1)   // miss, cache: {0}
+	c.Access(1*LineSize, 1)   // miss, cache: {1,0}
+	c.Access(0*LineSize, 1)   // hit,  cache: {0,1}
+	c.Access(2*LineSize, 1)   // miss, evicts 1, cache: {2,0}
+	c.Access(1*LineSize, 1)   // miss (evicted)
+	c.Access(0*LineSize, 1)   // 0 was evicted by the previous miss? No: {1,2} -> miss
+	if c.Hits() != 1 {
+		t.Fatalf("hits = %d, want exactly 1", c.Hits())
+	}
+	if c.Misses() != 5 {
+		t.Fatalf("misses = %d, want 5", c.Misses())
+	}
+}
+
+func TestCacheResetClearsState(t *testing.T) {
+	c := New(Config{SizeBytes: 4 * 1024, Ways: 2})
+	c.Access(0, 4)
+	c.Reset()
+	if c.Accesses() != 0 || c.MissRatio() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	c.Access(0, 4)
+	if c.Misses() != 1 {
+		t.Fatal("Reset did not clear contents")
+	}
+}
+
+func TestSequentialBeatsRandomMissRatio(t *testing.T) {
+	cfg := Config{SizeBytes: 64 * 1024, Ways: 8}
+	seq := New(cfg)
+	for i := 0; i < 1<<16; i++ {
+		seq.Access(uint64(i)*4, 4)
+	}
+	rng := rand.New(rand.NewSource(1))
+	random := New(cfg)
+	for i := 0; i < 1<<16; i++ {
+		random.Access(uint64(rng.Intn(1<<24)), 4)
+	}
+	if seq.MissRatio() >= random.MissRatio() {
+		t.Fatalf("sequential (%.2f) should miss less than random (%.2f)", seq.MissRatio(), random.MissRatio())
+	}
+	if seq.MissRatio() > 0.1 {
+		t.Fatalf("sequential scan should mostly hit, got %.2f", seq.MissRatio())
+	}
+	if random.MissRatio() < 0.5 {
+		t.Fatalf("random access over a large range should mostly miss, got %.2f", random.MissRatio())
+	}
+}
+
+func TestMissRatioBoundsProperty(t *testing.T) {
+	f := func(addrs []uint32) bool {
+		c := New(Config{SizeBytes: 8 * 1024, Ways: 2})
+		for _, a := range addrs {
+			c.Access(uint64(a), 4)
+		}
+		r := c.MissRatio()
+		return r >= 0 && r <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddressSpaceRegionsDisjoint(t *testing.T) {
+	s := NewAddressSpace()
+	a := s.Alloc(1000)
+	b := s.Alloc(10)
+	c := s.Alloc(1)
+	if b < a+1000 {
+		t.Fatalf("regions overlap: a=%d..%d b=%d", a, a+1000, b)
+	}
+	if c <= b {
+		t.Fatalf("regions not increasing: b=%d c=%d", b, c)
+	}
+	if a%LineSize != 0 && a != 1<<20 {
+		t.Fatalf("allocation base %d not aligned", a)
+	}
+}
+
+// rmatLike generates a small skewed edge list for the trace ordering tests.
+func rmatLike(n, m int, seed int64) []graph.Edge {
+	rng := rand.New(rand.NewSource(seed))
+	edges := make([]graph.Edge, m)
+	for i := range edges {
+		// Square the random value to skew sources toward low ids.
+		s := rng.Float64()
+		d := rng.Float64()
+		edges[i] = graph.Edge{
+			Src: graph.VertexID(s * s * float64(n)),
+			Dst: graph.VertexID(d * d * float64(n)),
+		}
+	}
+	return edges
+}
+
+// TestPrepTraceOrdering checks Table 2's qualitative result: radix sort has
+// a much lower LLC miss ratio than count sort and dynamic building.
+func TestPrepTraceOrdering(t *testing.T) {
+	const n = 1 << 16
+	edges := rmatLike(n, 1<<17, 3)
+	cfg := Config{SizeBytes: 256 * 1024, Ways: 8} // small LLC so the effect shows at test scale
+
+	dyn := TraceAdjacencyBuild(BuildDynamic, edges, n, cfg)
+	cnt := TraceAdjacencyBuild(BuildCountSort, edges, n, cfg)
+	rad := TraceAdjacencyBuild(BuildRadixSort, edges, n, cfg)
+
+	if rad.MissRatio >= cnt.MissRatio {
+		t.Fatalf("radix (%.2f) should miss less than count sort (%.2f)", rad.MissRatio, cnt.MissRatio)
+	}
+	if rad.MissRatio >= dyn.MissRatio {
+		t.Fatalf("radix (%.2f) should miss less than dynamic (%.2f)", rad.MissRatio, dyn.MissRatio)
+	}
+	for _, r := range []Result{dyn, cnt, rad} {
+		if r.Accesses == 0 || r.MissRatio < 0 || r.MissRatio > 1 {
+			t.Fatalf("invalid trace result %+v", r)
+		}
+	}
+}
+
+// TestLayoutTraceOrdering checks Table 4's qualitative result: the grid has
+// a far lower miss ratio than the edge array and the adjacency list, and
+// sorting the adjacency list does not change its miss ratio much.
+func TestLayoutTraceOrdering(t *testing.T) {
+	const n = 1 << 16
+	edges := rmatLike(n, 1<<17, 4)
+	cfg := Config{SizeBytes: 256 * 1024, Ways: 8}
+	opt := LayoutTraceOptions{MetaBytes: 12, Cache: cfg}
+
+	// Build the layouts with the reference builders used in graph tests.
+	adj := naiveCSR(edges, n)
+	adjSorted := naiveCSR(edges, n)
+	adjSorted.SortNeighbors()
+	grid := naiveGrid(edges, n, 64)
+
+	ea := TraceEdgeArray(edges, n, opt)
+	gr := TraceGrid(grid, opt)
+	ad := TraceAdjacency(adj, opt)
+	ads := TraceAdjacency(adjSorted, opt)
+
+	if gr.MissRatio >= ea.MissRatio {
+		t.Fatalf("grid (%.2f) should miss less than edge array (%.2f)", gr.MissRatio, ea.MissRatio)
+	}
+	if gr.MissRatio >= ad.MissRatio {
+		t.Fatalf("grid (%.2f) should miss less than adjacency (%.2f)", gr.MissRatio, ad.MissRatio)
+	}
+	diff := ad.MissRatio - ads.MissRatio
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 0.15 {
+		t.Fatalf("sorting the adjacency list changed the miss ratio too much: %.2f vs %.2f", ad.MissRatio, ads.MissRatio)
+	}
+}
+
+// naiveCSR and naiveGrid are minimal reference builders for the trace tests.
+func naiveCSR(edges []graph.Edge, n int) *graph.Adjacency {
+	per := make([][]graph.VertexID, n)
+	for _, e := range edges {
+		per[e.Src] = append(per[e.Src], e.Dst)
+	}
+	adj := &graph.Adjacency{Index: make([]uint64, n+1), NumVertices: n}
+	for v := 0; v < n; v++ {
+		adj.Index[v] = uint64(len(adj.Targets))
+		adj.Targets = append(adj.Targets, per[v]...)
+		for range per[v] {
+			adj.Weights = append(adj.Weights, 1)
+		}
+	}
+	adj.Index[n] = uint64(len(adj.Targets))
+	return adj
+}
+
+func naiveGrid(edges []graph.Edge, n, p int) *graph.Grid {
+	rangeSize := (n + p - 1) / p
+	cells := make([][]graph.Edge, p*p)
+	for _, e := range edges {
+		cell := (int(e.Src)/rangeSize)*p + int(e.Dst)/rangeSize
+		cells[cell] = append(cells[cell], e)
+	}
+	g := &graph.Grid{P: p, RangeSize: rangeSize, NumVertices: n, CellIndex: make([]uint64, p*p+1)}
+	for c := 0; c < p*p; c++ {
+		g.CellIndex[c] = uint64(len(g.Edges))
+		g.Edges = append(g.Edges, cells[c]...)
+	}
+	g.CellIndex[p*p] = uint64(len(g.Edges))
+	return g
+}

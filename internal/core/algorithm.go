@@ -1,0 +1,88 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+// Algorithm is the contract between the engine and a graph algorithm. The
+// same algorithm implementation runs under every combination of layout,
+// flow and synchronization mode — that is the paper's methodology: isolate
+// the technique, keep the algorithm code constant.
+//
+// State discipline:
+//
+//   - PushEdge updates the destination's state and is called by the engine
+//     only while it guarantees exclusive access to that destination (a held
+//     lock, or ownership of the destination range by the calling worker).
+//   - PushEdgeAtomic performs the same update using atomic operations and
+//     may be called concurrently for the same destination.
+//   - PullEdge updates only the *destination's own* state and is called by
+//     the engine from the single worker that owns that destination in pull
+//     mode, so it needs no synchronization — this is exactly the lock-free
+//     advantage of pull mode discussed in Section 6.1.2.
+type Algorithm interface {
+	// Name identifies the algorithm in results.
+	Name() string
+
+	// Init allocates per-vertex state for the graph. It is called once
+	// before the first iteration.
+	Init(g *graph.Graph)
+
+	// InitialFrontier returns the initially active vertices.
+	InitialFrontier(g *graph.Graph) *graph.Frontier
+
+	// Dense reports whether the algorithm processes the whole graph every
+	// iteration (PageRank, SpMV, ALS). Dense algorithms skip frontier
+	// tracking: the engine feeds them a full frontier each iteration and
+	// relies on AfterIteration for termination.
+	Dense() bool
+
+	// PushEdge applies the edge (u -> v, w) on behalf of active vertex u,
+	// assuming exclusive access to v's state. It returns true if v became
+	// newly active for the next iteration.
+	PushEdge(u, v graph.VertexID, w graph.Weight) bool
+
+	// PushEdgeAtomic is the atomic variant of PushEdge.
+	PushEdgeAtomic(u, v graph.VertexID, w graph.Weight) bool
+
+	// PullActive reports whether destination v still needs to pull during
+	// the current iteration (e.g. an undiscovered BFS vertex). The engine
+	// skips vertices for which it returns false.
+	PullActive(v graph.VertexID) bool
+
+	// PullEdge lets v read u's state (u was active in the previous
+	// iteration) and update its own. It returns changed=true if v became
+	// newly active for the next iteration and done=true if v needs to scan
+	// no further in-edges this iteration (the early-exit optimization of
+	// Section 6.1.1).
+	PullEdge(v, u graph.VertexID, w graph.Weight) (changed, done bool)
+
+	// BeforeIteration is called at the start of every iteration.
+	BeforeIteration(iteration int)
+
+	// AfterIteration is called at the end of every iteration; returning
+	// true stops the run (used by fixed-iteration algorithms and by
+	// convergence tests). Frontier exhaustion also stops non-dense
+	// algorithms.
+	AfterIteration(iteration int) (converged bool)
+}
+
+// lockStripes is the number of striped destination locks used by SyncLocks.
+// Striping bounds memory while keeping the collision probability between
+// concurrently updated destinations negligible.
+const lockStripes = 1 << 14
+
+// vertexLocks is the striped lock table used when Config.Sync == SyncLocks.
+type vertexLocks struct {
+	locks [lockStripes]sync.Mutex
+}
+
+func newVertexLocks() *vertexLocks { return &vertexLocks{} }
+
+// lock acquires the stripe of vertex v.
+func (l *vertexLocks) lock(v graph.VertexID) { l.locks[v&(lockStripes-1)].Lock() }
+
+// unlock releases the stripe of vertex v.
+func (l *vertexLocks) unlock(v graph.VertexID) { l.locks[v&(lockStripes-1)].Unlock() }

@@ -1,0 +1,170 @@
+// Package core contains the graph-processing engine: the single system in
+// which the paper's techniques are implemented and can be enabled
+// selectively. The engine iterates either over vertices (adjacency lists),
+// over edges (edge arrays) or over grid cells, propagates information by
+// pushing, pulling or switching between the two, synchronizes destination
+// updates with locks, atomics or by partitioning the destination space, and
+// reports per-iteration statistics so the benchmarks can reconstruct the
+// paper's figures.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+// Flow selects the direction of information propagation (Section 6).
+type Flow int
+
+const (
+	// Push iterates over active vertices and writes to their out-neighbours.
+	Push Flow = iota
+	// Pull iterates over destination vertices and reads from their
+	// in-neighbours; only the destination's own state is written.
+	Pull
+	// PushPull switches per iteration between Push and Pull depending on
+	// the size of the frontier (direction-optimizing traversal).
+	PushPull
+)
+
+// String returns the label used in benchmark tables.
+func (f Flow) String() string {
+	switch f {
+	case Push:
+		return "push"
+	case Pull:
+		return "pull"
+	case PushPull:
+		return "push-pull"
+	default:
+		return fmt.Sprintf("Flow(%d)", int(f))
+	}
+}
+
+// SyncMode selects how concurrent updates to destination vertices are made
+// safe (Section 6.1.2).
+type SyncMode int
+
+const (
+	// SyncLocks protects destination updates with striped per-vertex locks.
+	SyncLocks SyncMode = iota
+	// SyncAtomics uses the algorithm's atomic (CAS-based) edge functions.
+	SyncAtomics
+	// SyncPartitionFree relies on the data layout to give each worker
+	// exclusive ownership of a destination range (grid columns in push
+	// mode, rows of the transposed grid in pull mode) or on pull-mode
+	// vertex ownership, so no synchronization is needed.
+	SyncPartitionFree
+)
+
+// String returns the label used in benchmark tables.
+func (s SyncMode) String() string {
+	switch s {
+	case SyncLocks:
+		return "locks"
+	case SyncAtomics:
+		return "atomics"
+	case SyncPartitionFree:
+		return "no-lock"
+	default:
+		return fmt.Sprintf("SyncMode(%d)", int(s))
+	}
+}
+
+// DefaultPushPullAlpha is the denominator of the direction-optimizing
+// threshold: an iteration pulls when the active vertices' outgoing edges
+// exceed |E|/alpha (Beamer's heuristic as adopted by Ligra).
+const DefaultPushPullAlpha = 20
+
+// Config selects the techniques for a run.
+type Config struct {
+	// Layout selects the data layout to iterate over. The corresponding
+	// structure must have been built on the graph (see internal/prep).
+	Layout graph.Layout
+	// Flow selects push, pull or the dynamic combination.
+	Flow Flow
+	// Sync selects the synchronization discipline for destination updates.
+	Sync SyncMode
+	// Workers bounds the parallelism (0 = all CPUs).
+	Workers int
+	// PushPullAlpha overrides the direction-switch threshold denominator
+	// (0 = DefaultPushPullAlpha).
+	PushPullAlpha int
+	// MaxIterations caps the number of iterations (0 = no cap). Algorithms
+	// with a fixed iteration count (PageRank) converge on their own.
+	MaxIterations int
+	// RecordFrontiers stores a copy of each iteration's active vertex list
+	// in the result, for NUMA analysis (Section 7).
+	RecordFrontiers bool
+}
+
+// IterationStats describes one iteration of a run.
+type IterationStats struct {
+	// Iteration is the zero-based iteration number.
+	Iteration int
+	// ActiveVertices is the number of vertices in the frontier processed by
+	// this iteration.
+	ActiveVertices int
+	// ActiveEdges is the number of outgoing edges of those vertices (only
+	// computed when the direction-optimizing switch needs it; -1 otherwise).
+	ActiveEdges int64
+	// UsedPull reports whether the iteration ran in pull mode.
+	UsedPull bool
+	// Duration is the wall-clock time of the iteration.
+	Duration time.Duration
+}
+
+// Result reports a run.
+type Result struct {
+	// Algorithm is the algorithm name.
+	Algorithm string
+	// Iterations is the number of iterations executed.
+	Iterations int
+	// AlgorithmTime is the total algorithm execution time (the sum of
+	// iteration durations plus frontier management).
+	AlgorithmTime time.Duration
+	// PerIteration holds one entry per executed iteration.
+	PerIteration []IterationStats
+	// FrontierHistory holds a copy of each iteration's active vertices when
+	// Config.RecordFrontiers is set (nil entries for whole-graph
+	// iterations of dense algorithms).
+	FrontierHistory [][]graph.VertexID
+}
+
+// Validate checks that the configuration is consistent with the graph's
+// materialized layouts and with the synchronization rules of Section 6.
+func (cfg Config) Validate(g *graph.Graph) error {
+	switch cfg.Layout {
+	case graph.LayoutEdgeArray:
+		if g.EdgeArray == nil {
+			return fmt.Errorf("core: graph has no edge array")
+		}
+		if cfg.Sync == SyncPartitionFree {
+			return fmt.Errorf("core: edge arrays cannot run without synchronization (no destination ownership); use locks or atomics")
+		}
+	case graph.LayoutAdjacency, graph.LayoutAdjacencySorted:
+		needOut := cfg.Flow == Push || cfg.Flow == PushPull
+		needIn := cfg.Flow == Pull || cfg.Flow == PushPull
+		if needOut && g.Out == nil {
+			return fmt.Errorf("core: %v/%v requires outgoing adjacency lists (run prep.BuildAdjacency with direction Out or InOut)", cfg.Layout, cfg.Flow)
+		}
+		if needIn && g.In == nil && g.Directed {
+			return fmt.Errorf("core: %v/%v requires incoming adjacency lists on directed graphs (run prep.BuildAdjacency with direction In or InOut)", cfg.Layout, cfg.Flow)
+		}
+		if cfg.Flow == Push && cfg.Sync == SyncPartitionFree {
+			return fmt.Errorf("core: push on adjacency lists requires locks or atomics (destinations are not partitioned)")
+		}
+	case graph.LayoutGrid:
+		if g.Grid == nil {
+			return fmt.Errorf("core: grid layout requested but not built (run prep.BuildGrid)")
+		}
+	default:
+		return fmt.Errorf("core: unknown layout %v", cfg.Layout)
+	}
+	if cfg.Flow == PushPull && cfg.Layout == graph.LayoutEdgeArray {
+		return fmt.Errorf("core: push-pull switching is meaningless on edge arrays (every iteration scans all edges)")
+	}
+	return nil
+}

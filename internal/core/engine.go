@@ -1,0 +1,178 @@
+package core
+
+import (
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
+)
+
+// Run executes alg over g with the techniques selected by cfg and returns
+// the per-iteration statistics. The graph must already carry the layouts the
+// configuration needs (see internal/prep); Run measures only algorithm
+// execution time, never pre-processing, matching the paper's methodology of
+// reporting the two phases separately.
+func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
+	if err := cfg.Validate(g); err != nil {
+		return nil, err
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = sched.MaxWorkers()
+	}
+	alpha := cfg.PushPullAlpha
+	if alpha <= 0 {
+		alpha = DefaultPushPullAlpha
+	}
+
+	r := &runner{
+		g:       g,
+		alg:     alg,
+		cfg:     cfg,
+		workers: workers,
+		track:   !alg.Dense(),
+	}
+	if cfg.Sync == SyncLocks {
+		r.locks = newVertexLocks()
+	}
+
+	alg.Init(g)
+	frontier := alg.InitialFrontier(g)
+	res := &Result{Algorithm: alg.Name()}
+
+	n := g.NumVertices()
+	start := time.Now()
+	for iter := 0; ; iter++ {
+		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
+			break
+		}
+		if !alg.Dense() && frontier.IsEmpty() {
+			break
+		}
+
+		alg.BeforeIteration(iter)
+		iterStart := time.Now()
+
+		stats := IterationStats{
+			Iteration:      iter,
+			ActiveVertices: frontier.Count(),
+			ActiveEdges:    -1,
+		}
+		if cfg.RecordFrontiers {
+			res.FrontierHistory = append(res.FrontierHistory, r.frontierSnapshot(frontier))
+		}
+
+		var next *graph.Frontier
+		switch cfg.Layout {
+		case graph.LayoutEdgeArray:
+			next = r.edgeCentric(frontier)
+		case graph.LayoutAdjacency, graph.LayoutAdjacencySorted:
+			flow := cfg.Flow
+			if flow == PushPull {
+				stats.ActiveEdges = r.activeOutEdges(frontier)
+				threshold := int64(g.Out.NumEdges() / alpha)
+				if stats.ActiveEdges > threshold {
+					flow = Pull
+				} else {
+					flow = Push
+				}
+			}
+			if flow == Pull {
+				stats.UsedPull = true
+				next = r.vertexPull(frontier)
+			} else {
+				next = r.vertexPush(frontier)
+			}
+		case graph.LayoutGrid:
+			flow := cfg.Flow
+			if flow == PushPull {
+				// The grid has no per-vertex out index; the switch uses the
+				// active vertex count against the same |V|/alpha heuristic.
+				if frontier.Count() > n/alpha {
+					flow = Pull
+				} else {
+					flow = Push
+				}
+			}
+			stats.UsedPull = flow == Pull
+			next = r.gridStep(frontier, flow == Pull)
+		}
+
+		stats.Duration = time.Since(iterStart)
+		res.PerIteration = append(res.PerIteration, stats)
+		res.Iterations++
+
+		converged := alg.AfterIteration(iter)
+		if !alg.Dense() {
+			frontier = next
+		}
+		if converged {
+			break
+		}
+	}
+	res.AlgorithmTime = time.Since(start)
+	return res, nil
+}
+
+// runner carries the per-run execution state shared by the layout paths.
+type runner struct {
+	g       *graph.Graph
+	alg     Algorithm
+	cfg     Config
+	workers int
+	locks   *vertexLocks
+	track   bool // build the next frontier (false for dense algorithms)
+}
+
+// frontierSnapshot copies the active vertex list for the NUMA analysis.
+// Dense (whole-graph) frontiers are recorded as nil: they are balanced by
+// construction and copying them every iteration would dominate memory.
+func (r *runner) frontierSnapshot(f *graph.Frontier) []graph.VertexID {
+	if r.alg.Dense() && f.Count() == f.NumVertices() {
+		return nil
+	}
+	src := f.Sparse()
+	out := make([]graph.VertexID, len(src))
+	copy(out, src)
+	return out
+}
+
+// activeOutEdges sums the out-degrees of the frontier's vertices (the
+// quantity compared against |E|/alpha by the direction-optimizing switch).
+func (r *runner) activeOutEdges(f *graph.Frontier) int64 {
+	out := r.g.Out
+	active := f.Sparse()
+	return sched.ParallelReduce(0, len(active), 2048, r.workers, int64(0),
+		func(lo, hi int, acc int64) int64 {
+			for i := lo; i < hi; i++ {
+				acc += int64(out.Degree(active[i]))
+			}
+			return acc
+		},
+		func(a, b int64) int64 { return a + b },
+	)
+}
+
+// pushEdge applies one push update under the configured synchronization
+// discipline. ownsDst tells the engine that the calling worker has exclusive
+// access to the destination (grid column ownership), in which case no
+// synchronization is needed regardless of the configured mode.
+func (r *runner) pushEdge(u, v graph.VertexID, w graph.Weight, ownsDst bool) bool {
+	if ownsDst {
+		return r.alg.PushEdge(u, v, w)
+	}
+	switch r.cfg.Sync {
+	case SyncAtomics:
+		return r.alg.PushEdgeAtomic(u, v, w)
+	case SyncLocks:
+		r.locks.lock(v)
+		activated := r.alg.PushEdge(u, v, w)
+		r.locks.unlock(v)
+		return activated
+	default:
+		// SyncPartitionFree without ownership is rejected by Validate for
+		// the layouts where it would race; reaching here means the layout
+		// guarantees ownership.
+		return r.alg.PushEdge(u, v, w)
+	}
+}

@@ -1,0 +1,275 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+)
+
+// TestPushPullSwitchesDirection checks the direction-optimizing behaviour of
+// Figure 6/7: on a power-law graph the middle iterations are dense enough to
+// trigger pull mode, while the first iteration stays in push mode.
+func TestPushPullSwitchesDirection(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 12, EdgeFactor: 16, Seed: 5})
+	prepareAll(t, g, false)
+
+	bfs := algorithms.NewBFS(0)
+	res, err := Run(g, bfs, Config{
+		Layout: graph.LayoutAdjacency, Flow: PushPull, Sync: SyncAtomics,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.PerIteration[0].UsedPull {
+		t.Fatal("the first iteration (a single-vertex frontier) must push")
+	}
+	sawPull := false
+	for _, it := range res.PerIteration {
+		if it.UsedPull {
+			sawPull = true
+			if it.ActiveEdges < 0 {
+				t.Fatal("pull iterations must record the active edge count")
+			}
+		}
+	}
+	if !sawPull {
+		t.Fatal("push-pull never switched to pull on a dense power-law frontier")
+	}
+}
+
+// TestFrontierSizesMatchAcrossFlows: push and pull BFS discover the same
+// number of vertices at every level.
+func TestFrontierSizesMatchAcrossFlows(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 11, EdgeFactor: 8, Seed: 9})
+	prepareAll(t, g, false)
+
+	run := func(flow Flow, sync SyncMode) []int {
+		bfs := algorithms.NewBFS(0)
+		res, err := Run(g, bfs, Config{Layout: graph.LayoutAdjacency, Flow: flow, Sync: sync})
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		var sizes []int
+		for _, it := range res.PerIteration {
+			sizes = append(sizes, it.ActiveVertices)
+		}
+		return sizes
+	}
+	push := run(Push, SyncAtomics)
+	pull := run(Pull, SyncPartitionFree)
+	if len(push) != len(pull) {
+		t.Fatalf("iteration counts differ: push=%d pull=%d", len(push), len(pull))
+	}
+	for i := range push {
+		if push[i] != pull[i] {
+			t.Fatalf("iteration %d: push frontier %d != pull frontier %d", i, push[i], pull[i])
+		}
+	}
+}
+
+// TestSSSPEquivalenceAcrossConfigs checks that distances agree across every
+// layout/flow/sync combination on a weighted power-law graph.
+func TestSSSPEquivalenceAcrossConfigs(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 10, EdgeFactor: 8, Seed: 21, Weighted: true})
+	prepareAll(t, g, false)
+
+	var ref []float32
+	for _, cfg := range allConfigs() {
+		name := cfg.Layout.String() + "/" + cfg.Flow.String() + "/" + cfg.Sync.String()
+		sssp := algorithms.NewSSSP(0)
+		if _, err := Run(g, sssp, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d := sssp.Distances()
+		if ref == nil {
+			ref = d
+			continue
+		}
+		for v := range ref {
+			if d[v] != ref[v] {
+				t.Fatalf("%s: dist[%d] = %v, want %v", name, v, d[v], ref[v])
+			}
+		}
+	}
+}
+
+// TestWCCEquivalenceOnRoad checks component labels across configurations on
+// the undirected road graph.
+func TestWCCEquivalenceOnRoad(t *testing.T) {
+	g := gen.Road(gen.RoadOptions{Width: 24, Height: 24, Seed: 2})
+	prepareAll(t, g, true)
+
+	var ref []uint32
+	for _, cfg := range allConfigs() {
+		name := cfg.Layout.String() + "/" + cfg.Flow.String() + "/" + cfg.Sync.String()
+		wcc := algorithms.NewWCC()
+		if _, err := Run(g, wcc, cfg); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if wcc.NumComponents() != 1 {
+			t.Fatalf("%s: lattice must be a single component, got %d", name, wcc.NumComponents())
+		}
+		if ref == nil {
+			ref = append([]uint32(nil), wcc.Labels...)
+			continue
+		}
+		for v := range ref {
+			if wcc.Labels[v] != ref[v] {
+				t.Fatalf("%s: label[%d] = %d, want %d", name, v, wcc.Labels[v], ref[v])
+			}
+		}
+	}
+}
+
+// TestALSThroughEngineMatchesAcrossFlows runs ALS in pull (no lock) and push
+// (locks) modes and checks that the learned models agree.
+func TestALSThroughEngineMatchesAcrossFlows(t *testing.T) {
+	g := gen.Bipartite(gen.BipartiteOptions{Users: 300, Items: 40, RatingsPerUser: 10, Seed: 4})
+	prepareAll(t, g, true)
+
+	run := func(flow Flow, sync SyncMode) *algorithms.ALS {
+		als := algorithms.NewALS(300)
+		als.Sweeps = 2
+		if _, err := Run(g, als, Config{Layout: graph.LayoutAdjacency, Flow: flow, Sync: sync}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return als
+	}
+	pull := run(Pull, SyncPartitionFree)
+	push := run(Push, SyncLocks)
+	edges := g.EdgeArray.Edges
+	rmsePull, rmsePush := pull.RMSE(edges), push.RMSE(edges)
+	diff := rmsePull - rmsePush
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > 1e-6 {
+		t.Fatalf("pull and push ALS diverged: RMSE %v vs %v", rmsePull, rmsePush)
+	}
+	if rmsePull > 1.5 {
+		t.Fatalf("ALS did not fit the ratings: RMSE %v", rmsePull)
+	}
+}
+
+// TestDenseAlgorithmsSkipFrontierHistoryCopies: dense (whole-graph)
+// algorithms record nil frontier snapshots so the NUMA profile treats them
+// as balanced.
+func TestDenseAlgorithmsSkipFrontierHistoryCopies(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 9, EdgeFactor: 8, Seed: 2})
+	prepareAll(t, g, false)
+	pr := algorithms.NewPageRank()
+	pr.Iterations = 2
+	res, err := Run(g, pr, Config{
+		Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics, RecordFrontiers: true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.FrontierHistory) != 2 {
+		t.Fatalf("history length = %d", len(res.FrontierHistory))
+	}
+	for i, h := range res.FrontierHistory {
+		if h != nil {
+			t.Fatalf("iteration %d: dense frontier should be recorded as nil", i)
+		}
+	}
+}
+
+// TestMaxIterationsStopsDenseAlgorithms: the engine cap applies even when
+// the algorithm itself has not converged.
+func TestMaxIterationsStopsDenseAlgorithms(t *testing.T) {
+	g := chainGraph(10)
+	prepareAll(t, g, false)
+	pr := algorithms.NewPageRank()
+	pr.Iterations = 50
+	res, err := Run(g, pr, Config{
+		Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics, MaxIterations: 3,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("iterations = %d, want 3", res.Iterations)
+	}
+}
+
+// TestBFSEquivalencePropertyRandomGraphs: for random graphs, push on the
+// edge array and pull on adjacency lists discover exactly the same levels.
+func TestBFSEquivalencePropertyRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 50 + rng.Intn(100)
+		m := 4 * n
+		edges := make([]graph.Edge, m)
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.VertexID(rng.Intn(n)), Dst: graph.VertexID(rng.Intn(n)), W: 1}
+		}
+		g := graph.New(edges, n, true)
+		if err := prep.BuildAdjacency(g, prep.InOut, prep.Options{Method: prep.RadixSort}); err != nil {
+			return false
+		}
+
+		bfsEdge := algorithms.NewBFS(0)
+		if _, err := Run(g, bfsEdge, Config{Layout: graph.LayoutEdgeArray, Flow: Push, Sync: SyncAtomics}); err != nil {
+			return false
+		}
+		bfsPull := algorithms.NewBFS(0)
+		if _, err := Run(g, bfsPull, Config{Layout: graph.LayoutAdjacency, Flow: Pull, Sync: SyncPartitionFree}); err != nil {
+			return false
+		}
+		for v := range bfsEdge.Level {
+			if bfsEdge.Level[v] != bfsPull.Level[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGridLocksMatchesPartitionFree: the "grid (locks)" configuration of
+// Figure 8 must produce the same PageRank result as the lock-free column
+// schedule.
+func TestGridLocksMatchesPartitionFree(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 10, EdgeFactor: 8, Seed: 13})
+	prepareAll(t, g, false)
+	run := func(sync SyncMode) []float64 {
+		pr := algorithms.NewPageRank()
+		pr.Iterations = 3
+		if _, err := Run(g, pr, Config{Layout: graph.LayoutGrid, Flow: Push, Sync: sync}); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return append([]float64(nil), pr.Rank...)
+	}
+	a := run(SyncLocks)
+	b := run(SyncPartitionFree)
+	for v := range a {
+		diff := a[v] - b[v]
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-9 {
+			t.Fatalf("rank mismatch at %d: %v vs %v", v, a[v], b[v])
+		}
+	}
+}
+
+// TestFlowAndSyncStrings covers the enum formatting used in reports.
+func TestFlowAndSyncStrings(t *testing.T) {
+	if Push.String() != "push" || Pull.String() != "pull" || PushPull.String() != "push-pull" {
+		t.Fatal("flow names wrong")
+	}
+	if SyncLocks.String() != "locks" || SyncAtomics.String() != "atomics" || SyncPartitionFree.String() != "no-lock" {
+		t.Fatal("sync names wrong")
+	}
+	if Flow(9).String() == "" || SyncMode(9).String() == "" {
+		t.Fatal("unknown enum values must render")
+	}
+}

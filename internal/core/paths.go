@@ -1,0 +1,199 @@
+package core
+
+import (
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
+)
+
+// vertexPush runs one vertex-centric push iteration over the out-adjacency:
+// every active vertex streams its outgoing neighbours and updates them under
+// the configured synchronization discipline (Section 6: push works on the
+// active subset only, but destination updates need locks or atomics).
+func (r *runner) vertexPush(frontier *graph.Frontier) *graph.Frontier {
+	out := r.outAdjacency()
+	active := frontier.Sparse()
+	var builder *graph.FrontierBuilder
+	if r.track {
+		builder = graph.NewFrontierBuilder(r.g.NumVertices(), r.workers)
+	}
+	sched.ParallelForWorker(0, len(active), 64, r.workers, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			u := active[i]
+			nbrs := out.Neighbors(u)
+			ws := out.NeighborWeights(u)
+			for j, v := range nbrs {
+				if r.pushEdge(u, v, ws[j], false) && r.track {
+					builder.Add(worker, v)
+				}
+			}
+		}
+	})
+	if !r.track {
+		return nil
+	}
+	return builder.Collect()
+}
+
+// vertexPull runs one vertex-centric pull iteration over the in-adjacency:
+// every vertex that still needs data scans its incoming neighbours, reads
+// the ones active in the current frontier and updates only its own state —
+// no synchronization needed, and the scan may stop early (Section 6.1.1).
+func (r *runner) vertexPull(frontier *graph.Frontier) *graph.Frontier {
+	in := r.inAdjacency()
+	frontier.ToDense()
+	n := r.g.NumVertices()
+	var builder *graph.FrontierBuilder
+	if r.track {
+		builder = graph.NewFrontierBuilder(n, r.workers)
+	}
+	sched.ParallelForWorker(0, n, 256, r.workers, func(worker, lo, hi int) {
+		for vi := lo; vi < hi; vi++ {
+			v := graph.VertexID(vi)
+			if !r.alg.PullActive(v) {
+				continue
+			}
+			nbrs := in.Neighbors(v)
+			ws := in.NeighborWeights(v)
+			changedAny := false
+			for j, u := range nbrs {
+				if !frontier.Contains(u) {
+					continue
+				}
+				changed, done := r.alg.PullEdge(v, u, ws[j])
+				if changed {
+					changedAny = true
+				}
+				if done {
+					break
+				}
+			}
+			if changedAny && r.track {
+				builder.Add(worker, v)
+			}
+		}
+	})
+	if !r.track {
+		return nil
+	}
+	return builder.Collect()
+}
+
+// edgeCentric runs one edge-centric iteration: the whole edge array is
+// streamed and the algorithm is applied to every edge whose source is
+// active. Destinations are updated under locks or atomics — edge arrays
+// offer no ownership structure to avoid synchronization (Section 6.1.3).
+// Undirected datasets traverse each stored edge in both directions.
+func (r *runner) edgeCentric(frontier *graph.Frontier) *graph.Frontier {
+	edges := r.g.EdgeArray.Edges
+	frontier.ToDense()
+	var builder *graph.FrontierBuilder
+	if r.track {
+		builder = graph.NewFrontierBuilder(r.g.NumVertices(), r.workers)
+	}
+	directed := r.g.Directed
+	sched.ParallelForWorker(0, len(edges), sched.DefaultChunkSize, r.workers, func(worker, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			e := edges[i]
+			if frontier.Contains(e.Src) {
+				if r.pushEdge(e.Src, e.Dst, e.W, false) && r.track {
+					builder.Add(worker, e.Dst)
+				}
+			}
+			if !directed && e.Src != e.Dst && frontier.Contains(e.Dst) {
+				if r.pushEdge(e.Dst, e.Src, e.W, false) && r.track {
+					builder.Add(worker, e.Src)
+				}
+			}
+		}
+	})
+	if !r.track {
+		return nil
+	}
+	return builder.Collect()
+}
+
+// gridStep runs one iteration over the grid layout. Under
+// SyncPartitionFree, workers own whole columns: every edge of a column has
+// its destination inside the column's vertex range, so both push updates
+// and pull updates of those destinations are race-free without locks
+// (Section 6.1.2). Under locks/atomics, cells are processed independently
+// with synchronized destination updates (the "grid (locks)" configuration
+// of Figure 8).
+func (r *runner) gridStep(frontier *graph.Frontier, pullMode bool) *graph.Frontier {
+	grid := r.g.Grid
+	frontier.ToDense()
+	var builder *graph.FrontierBuilder
+	if r.track {
+		builder = graph.NewFrontierBuilder(r.g.NumVertices(), r.workers)
+	}
+
+	processEdge := func(worker int, e graph.Edge, ownsDst bool) {
+		if !frontier.Contains(e.Src) {
+			return
+		}
+		if pullMode {
+			if !r.alg.PullActive(e.Dst) {
+				return
+			}
+			var changed bool
+			if ownsDst {
+				// Column ownership makes the destination update race-free.
+				changed, _ = r.alg.PullEdge(e.Dst, e.Src, e.W)
+			} else {
+				// Without ownership the update must be synchronized; the
+				// push edge function performs the same state transition
+				// under the configured locks/atomics discipline.
+				changed = r.pushEdge(e.Src, e.Dst, e.W, false)
+			}
+			if changed && r.track {
+				builder.Add(worker, e.Dst)
+			}
+			return
+		}
+		if r.pushEdge(e.Src, e.Dst, e.W, ownsDst) && r.track {
+			builder.Add(worker, e.Dst)
+		}
+	}
+
+	if r.cfg.Sync == SyncPartitionFree {
+		// Column ownership: worker processes every cell of its columns.
+		sched.ParallelForWorker(0, grid.P, 1, r.workers, func(worker, lo, hi int) {
+			for col := lo; col < hi; col++ {
+				for row := 0; row < grid.P; row++ {
+					for _, e := range grid.Cell(row, col) {
+						processEdge(worker, e, true)
+					}
+				}
+			}
+		})
+	} else {
+		// Cell-parallel with synchronized updates.
+		sched.ParallelForWorker(0, grid.NumCells(), 4, r.workers, func(worker, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				row, col := c/grid.P, c%grid.P
+				for _, e := range grid.Cell(row, col) {
+					processEdge(worker, e, false)
+				}
+			}
+		})
+	}
+	if !r.track {
+		return nil
+	}
+	return builder.Collect()
+}
+
+// outAdjacency returns the adjacency used for push iterations.
+func (r *runner) outAdjacency() *graph.Adjacency {
+	return r.g.Out
+}
+
+// inAdjacency returns the adjacency used for pull iterations: the incoming
+// lists on directed graphs, or the (doubled) outgoing lists on undirected
+// graphs, where the two coincide (Section 6.1.3).
+func (r *runner) inAdjacency() *graph.Adjacency {
+	if r.g.In != nil {
+		return r.g.In
+	}
+	return r.g.Out
+}

@@ -1,0 +1,317 @@
+// Package gen generates the datasets of Table 1. The original study uses
+// two real-world graphs (the Twitter follower graph and the DIMACS US-Road
+// graph), the synthetic RMAT family and the Netflix bipartite rating graph.
+// The real datasets are not redistributable and are far larger than what a
+// test environment can hold, so this package provides generators whose
+// outputs have the structural properties that drive the paper's
+// conclusions:
+//
+//   - RMAT/Kronecker power-law graphs of configurable scale (the paper's
+//     RMAT-N family: 2^N vertices, 2^(N+4) edges);
+//   - a "Twitter profile": an RMAT graph with the skew parameters commonly
+//     used to model the Twitter follower graph (the paper itself notes the
+//     Twitter graph "has a degree distribution similar to that of RMAT and
+//     benefits from the same approaches");
+//   - a road-network profile: a 2-D lattice with sparse diagonal shortcuts,
+//     giving the high diameter and uniformly small degrees that
+//     characterize the US-Road graph;
+//   - a bipartite rating graph with Zipf-distributed item popularity,
+//     standing in for the Netflix dataset used by ALS.
+//
+// All generators are deterministic for a given seed.
+package gen
+
+import (
+	"math/rand"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
+)
+
+// RMATParams are the recursive-matrix quadrant probabilities (a,b,c,d with
+// a+b+c+d=1) of the RMAT model (Chakrabarti et al.).
+type RMATParams struct {
+	A, B, C float64 // D is 1-A-B-C
+}
+
+// DefaultRMAT are the canonical Graph500/RMAT parameters used for the
+// paper's synthetic datasets.
+var DefaultRMAT = RMATParams{A: 0.57, B: 0.19, C: 0.19}
+
+// RMATOptions configures the RMAT generator.
+type RMATOptions struct {
+	// Scale is the log2 of the number of vertices (RMAT-N in the paper).
+	Scale int
+	// EdgeFactor is the number of edges per vertex; the paper's RMAT-N has
+	// 2^(N+4) edges, i.e. an edge factor of 16.
+	EdgeFactor int
+	// Params are the quadrant probabilities.
+	Params RMATParams
+	// Seed makes the generation deterministic.
+	Seed int64
+	// Weighted attaches uniform random weights in [1, 64) to edges;
+	// unweighted graphs get weight 1.
+	Weighted bool
+	// Workers bounds generation parallelism (0 = all CPUs).
+	Workers int
+}
+
+// RMAT generates a directed power-law graph with 2^Scale vertices and
+// 2^Scale*EdgeFactor edges.
+func RMAT(opt RMATOptions) *graph.Graph {
+	if opt.EdgeFactor <= 0 {
+		opt.EdgeFactor = 16
+	}
+	if opt.Params == (RMATParams{}) {
+		opt.Params = DefaultRMAT
+	}
+	n := 1 << opt.Scale
+	m := n * opt.EdgeFactor
+	edges := make([]graph.Edge, m)
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = sched.MaxWorkers()
+	}
+	sched.ParallelForWorker(0, m, 1<<14, workers, func(worker, lo, hi int) {
+		// Every chunk gets an independent deterministic stream derived from
+		// the seed and the chunk start, so the output does not depend on
+		// scheduling.
+		rng := rand.New(rand.NewSource(opt.Seed ^ int64(uint64(lo)*0x9e3779b97f4a7c15)))
+		for i := lo; i < hi; i++ {
+			src, dst := rmatEdge(rng, opt.Scale, opt.Params)
+			w := graph.Weight(1)
+			if opt.Weighted {
+				w = graph.Weight(1 + rng.Intn(63))
+			}
+			edges[i] = graph.Edge{Src: src, Dst: dst, W: w}
+		}
+	})
+	return graph.New(edges, n, true)
+}
+
+// rmatEdge draws one edge by descending the recursive matrix Scale times.
+// A small amount of noise is added to the quadrant probabilities at each
+// level (as in the reference RMAT implementations) to avoid exact
+// self-similarity artifacts.
+func rmatEdge(rng *rand.Rand, scale int, p RMATParams) (graph.VertexID, graph.VertexID) {
+	var src, dst uint32
+	a, b, c := p.A, p.B, p.C
+	for bit := scale - 1; bit >= 0; bit-- {
+		r := rng.Float64()
+		switch {
+		case r < a:
+			// top-left quadrant: no bits set
+		case r < a+b:
+			dst |= 1 << uint(bit)
+		case r < a+b+c:
+			src |= 1 << uint(bit)
+		default:
+			src |= 1 << uint(bit)
+			dst |= 1 << uint(bit)
+		}
+	}
+	return src, dst
+}
+
+// TwitterProfileOptions configures the Twitter-like generator.
+type TwitterProfileOptions struct {
+	// Scale is the log2 of the number of vertices.
+	Scale int
+	// EdgeFactor defaults to 24, approximating the Twitter graph's average
+	// degree (1468M edges / 62M vertices ≈ 23.7).
+	EdgeFactor int
+	Seed       int64
+	Weighted   bool
+	Workers    int
+}
+
+// TwitterProfile generates a directed graph with Twitter-like skew: an RMAT
+// graph with a higher edge factor and stronger hub concentration than the
+// default RMAT family.
+func TwitterProfile(opt TwitterProfileOptions) *graph.Graph {
+	ef := opt.EdgeFactor
+	if ef <= 0 {
+		ef = 24
+	}
+	return RMAT(RMATOptions{
+		Scale:      opt.Scale,
+		EdgeFactor: ef,
+		Params:     RMATParams{A: 0.6, B: 0.19, C: 0.15},
+		Seed:       opt.Seed,
+		Weighted:   opt.Weighted,
+		Workers:    opt.Workers,
+	})
+}
+
+// RoadOptions configures the road-network generator.
+type RoadOptions struct {
+	// Width and Height are the lattice dimensions; the graph has
+	// Width*Height vertices.
+	Width, Height int
+	// ShortcutFraction is the fraction of vertices that get one extra
+	// diagonal edge, mimicking highways; 0 keeps the pure lattice.
+	ShortcutFraction float64
+	Seed             int64
+	Weighted         bool
+}
+
+// roadRegionsPerSide is the number of region tiles per lattice dimension
+// used by the road generator's vertex numbering (16 regions in total).
+const roadRegionsPerSide = 4
+
+// Road generates an undirected high-diameter, low-degree graph shaped like
+// a road network: a Width x Height lattice where every vertex connects to
+// its right and down neighbours (each stored once; the engine treats the
+// dataset as undirected), plus optional diagonal shortcuts. Degrees are at
+// most 5 and the diameter is on the order of Width+Height, matching the
+// US-Road graph's structural profile.
+//
+// Vertex ids are assigned region by region (a 4x4 tiling of the lattice),
+// mirroring the regional ordering of the DIMACS/TIGER road data, where
+// vertices of the same geographic area have nearby ids. This matters for
+// the NUMA experiments: contiguous-range partitioning maps regions to
+// nodes, so a BFS wavefront sweeping the map concentrates its work on one
+// node at a time (the contention pathology of Figure 10).
+func Road(opt RoadOptions) *graph.Graph {
+	if opt.Width <= 0 {
+		opt.Width = 256
+	}
+	if opt.Height <= 0 {
+		opt.Height = 256
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	n := opt.Width * opt.Height
+	edges := make([]graph.Edge, 0, 2*n)
+	id := roadVertexNumbering(opt.Width, opt.Height)
+	weight := func() graph.Weight {
+		if opt.Weighted {
+			return graph.Weight(1 + rng.Intn(9))
+		}
+		return 1
+	}
+	for y := 0; y < opt.Height; y++ {
+		for x := 0; x < opt.Width; x++ {
+			if x+1 < opt.Width {
+				edges = append(edges, graph.Edge{Src: id(x, y), Dst: id(x+1, y), W: weight()})
+			}
+			if y+1 < opt.Height {
+				edges = append(edges, graph.Edge{Src: id(x, y), Dst: id(x, y+1), W: weight()})
+			}
+			if opt.ShortcutFraction > 0 && x+1 < opt.Width && y+1 < opt.Height && rng.Float64() < opt.ShortcutFraction {
+				edges = append(edges, graph.Edge{Src: id(x, y), Dst: id(x+1, y+1), W: weight()})
+			}
+		}
+	}
+	return graph.New(edges, n, false)
+}
+
+// roadVertexNumbering returns the (x, y) -> vertex-id mapping used by Road:
+// ids are dense in [0, Width*Height) and assigned tile by tile over a 4x4
+// region grid, row-major within each tile. The top-left cell gets id 0 and
+// the bottom-right cell gets the largest id.
+func roadVertexNumbering(width, height int) func(x, y int) graph.VertexID {
+	tileW := (width + roadRegionsPerSide - 1) / roadRegionsPerSide
+	tileH := (height + roadRegionsPerSide - 1) / roadRegionsPerSide
+	ids := make([]graph.VertexID, width*height)
+	next := graph.VertexID(0)
+	for tileRow := 0; tileRow < roadRegionsPerSide; tileRow++ {
+		for tileCol := 0; tileCol < roadRegionsPerSide; tileCol++ {
+			for y := tileRow * tileH; y < (tileRow+1)*tileH && y < height; y++ {
+				for x := tileCol * tileW; x < (tileCol+1)*tileW && x < width; x++ {
+					ids[y*width+x] = next
+					next++
+				}
+			}
+		}
+	}
+	return func(x, y int) graph.VertexID { return ids[y*width+x] }
+}
+
+// BipartiteOptions configures the rating-graph generator used for ALS.
+type BipartiteOptions struct {
+	// Users is the number of left-side vertices (ids 0..Users-1).
+	Users int
+	// Items is the number of right-side vertices (ids Users..Users+Items-1).
+	Items int
+	// RatingsPerUser is the average number of ratings per user.
+	RatingsPerUser int
+	// ZipfS controls item-popularity skew (>1; larger is more skewed).
+	ZipfS float64
+	Seed  int64
+}
+
+// Bipartite generates a bipartite rating graph: every edge goes from a user
+// to an item and carries a rating in [1,5]. Item popularity follows a Zipf
+// distribution, mirroring the Netflix dataset's skew.
+func Bipartite(opt BipartiteOptions) *graph.Graph {
+	if opt.Users <= 0 {
+		opt.Users = 1024
+	}
+	if opt.Items <= 0 {
+		opt.Items = 256
+	}
+	if opt.RatingsPerUser <= 0 {
+		opt.RatingsPerUser = 16
+	}
+	if opt.ZipfS <= 1 {
+		opt.ZipfS = 1.2
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	zipf := rand.NewZipf(rng, opt.ZipfS, 1, uint64(opt.Items-1))
+	n := opt.Users + opt.Items
+	edges := make([]graph.Edge, 0, opt.Users*opt.RatingsPerUser)
+	for u := 0; u < opt.Users; u++ {
+		// Poisson-ish spread around the mean keeps user degrees varied.
+		k := opt.RatingsPerUser/2 + rng.Intn(opt.RatingsPerUser+1)
+		seen := make(map[uint64]struct{}, k)
+		for j := 0; j < k; j++ {
+			item := zipf.Uint64()
+			if _, dup := seen[item]; dup {
+				continue
+			}
+			seen[item] = struct{}{}
+			rating := graph.Weight(1 + rng.Intn(5))
+			edges = append(edges, graph.Edge{
+				Src: graph.VertexID(u),
+				Dst: graph.VertexID(opt.Users + int(item)),
+				W:   rating,
+			})
+		}
+	}
+	return graph.New(edges, n, false)
+}
+
+// UniformOptions configures the uniform random-graph generator (used by
+// tests as an un-skewed contrast to RMAT).
+type UniformOptions struct {
+	NumVertices int
+	NumEdges    int
+	Seed        int64
+	Weighted    bool
+}
+
+// Uniform generates a directed Erdős–Rényi-style graph with edges drawn
+// uniformly at random.
+func Uniform(opt UniformOptions) *graph.Graph {
+	if opt.NumVertices <= 0 {
+		opt.NumVertices = 1024
+	}
+	if opt.NumEdges <= 0 {
+		opt.NumEdges = opt.NumVertices * 8
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	edges := make([]graph.Edge, opt.NumEdges)
+	for i := range edges {
+		w := graph.Weight(1)
+		if opt.Weighted {
+			w = graph.Weight(1 + rng.Intn(63))
+		}
+		edges[i] = graph.Edge{
+			Src: graph.VertexID(rng.Intn(opt.NumVertices)),
+			Dst: graph.VertexID(rng.Intn(opt.NumVertices)),
+			W:   w,
+		}
+	}
+	return graph.New(edges, opt.NumVertices, true)
+}

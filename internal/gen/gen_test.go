@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+func TestRMATSizesAndBounds(t *testing.T) {
+	g := RMAT(RMATOptions{Scale: 10, EdgeFactor: 8, Seed: 1})
+	if g.NumVertices() != 1024 {
+		t.Fatalf("NumVertices = %d, want 1024", g.NumVertices())
+	}
+	if g.NumEdges() != 1024*8 {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), 1024*8)
+	}
+	if err := g.EdgeArray.Validate(); err != nil {
+		t.Fatalf("edges out of range: %v", err)
+	}
+	if !g.Directed {
+		t.Fatal("RMAT graphs are directed")
+	}
+}
+
+func TestRMATDeterministicForSeed(t *testing.T) {
+	a := RMAT(RMATOptions{Scale: 8, EdgeFactor: 4, Seed: 99, Workers: 2})
+	b := RMAT(RMATOptions{Scale: 8, EdgeFactor: 4, Seed: 99, Workers: 7})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	for i := range a.EdgeArray.Edges {
+		if a.EdgeArray.Edges[i] != b.EdgeArray.Edges[i] {
+			t.Fatalf("edge %d differs across worker counts: %+v vs %+v", i, a.EdgeArray.Edges[i], b.EdgeArray.Edges[i])
+		}
+	}
+	c := RMAT(RMATOptions{Scale: 8, EdgeFactor: 4, Seed: 100})
+	same := true
+	for i := range a.EdgeArray.Edges {
+		if a.EdgeArray.Edges[i] != c.EdgeArray.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestRMATIsSkewed(t *testing.T) {
+	// Power-law graphs concentrate a large share of edges on few vertices;
+	// a uniform graph does not. Compare the max out-degree.
+	rmat := RMAT(RMATOptions{Scale: 12, EdgeFactor: 8, Seed: 5})
+	uni := Uniform(UniformOptions{NumVertices: 1 << 12, NumEdges: 8 << 12, Seed: 5})
+	maxDeg := func(g *graph.Graph) uint32 {
+		var m uint32
+		for _, d := range g.EdgeArray.OutDegrees() {
+			if d > m {
+				m = d
+			}
+		}
+		return m
+	}
+	if maxDeg(rmat) < 4*maxDeg(uni) {
+		t.Fatalf("RMAT max degree %d not clearly more skewed than uniform %d", maxDeg(rmat), maxDeg(uni))
+	}
+}
+
+func TestRMATWeighted(t *testing.T) {
+	g := RMAT(RMATOptions{Scale: 8, EdgeFactor: 4, Seed: 3, Weighted: true})
+	varied := false
+	for _, e := range g.EdgeArray.Edges {
+		if e.W < 1 || e.W >= 64 {
+			t.Fatalf("weight %v out of range", e.W)
+		}
+		if e.W != g.EdgeArray.Edges[0].W {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("weights are all identical")
+	}
+}
+
+func TestTwitterProfileDefaults(t *testing.T) {
+	g := TwitterProfile(TwitterProfileOptions{Scale: 10, Seed: 2})
+	if g.NumVertices() != 1024 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 1024*24 {
+		t.Fatalf("NumEdges = %d, want %d (edge factor 24)", g.NumEdges(), 1024*24)
+	}
+}
+
+func TestRoadShape(t *testing.T) {
+	g := Road(RoadOptions{Width: 32, Height: 16, Seed: 1})
+	if g.NumVertices() != 512 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	if g.Directed {
+		t.Fatal("road graphs are undirected")
+	}
+	// Pure lattice edge count: horizontal (w-1)*h + vertical w*(h-1).
+	want := (32-1)*16 + 32*(16-1)
+	if g.NumEdges() != want {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), want)
+	}
+	// Every vertex has total degree at most 4 in the pure lattice.
+	out := g.EdgeArray.OutDegrees()
+	in := g.EdgeArray.InDegrees()
+	for v := range out {
+		if out[v]+in[v] > 4 {
+			t.Fatalf("vertex %d has lattice degree %d > 4", v, out[v]+in[v])
+		}
+	}
+}
+
+func TestRoadShortcutsAddEdges(t *testing.T) {
+	plain := Road(RoadOptions{Width: 64, Height: 64, Seed: 1})
+	shortcut := Road(RoadOptions{Width: 64, Height: 64, Seed: 1, ShortcutFraction: 0.2})
+	if shortcut.NumEdges() <= plain.NumEdges() {
+		t.Fatalf("shortcuts did not add edges: %d vs %d", shortcut.NumEdges(), plain.NumEdges())
+	}
+}
+
+func TestRoadWeighted(t *testing.T) {
+	g := Road(RoadOptions{Width: 16, Height: 16, Seed: 1, Weighted: true})
+	for _, e := range g.EdgeArray.Edges {
+		if e.W < 1 || e.W > 9 {
+			t.Fatalf("weight %v out of range", e.W)
+		}
+	}
+}
+
+func TestBipartiteEdgesCrossSides(t *testing.T) {
+	g := Bipartite(BipartiteOptions{Users: 100, Items: 20, RatingsPerUser: 8, Seed: 6})
+	if g.NumVertices() != 120 {
+		t.Fatalf("NumVertices = %d", g.NumVertices())
+	}
+	for _, e := range g.EdgeArray.Edges {
+		if int(e.Src) >= 100 {
+			t.Fatalf("edge source %d is not a user", e.Src)
+		}
+		if int(e.Dst) < 100 {
+			t.Fatalf("edge destination %d is not an item", e.Dst)
+		}
+		if e.W < 1 || e.W > 5 {
+			t.Fatalf("rating %v outside [1,5]", e.W)
+		}
+	}
+}
+
+func TestBipartiteNoDuplicateRatingsPerUser(t *testing.T) {
+	g := Bipartite(BipartiteOptions{Users: 50, Items: 30, RatingsPerUser: 10, Seed: 8})
+	seen := map[[2]uint32]bool{}
+	for _, e := range g.EdgeArray.Edges {
+		key := [2]uint32{e.Src, e.Dst}
+		if seen[key] {
+			t.Fatalf("duplicate rating %d -> %d", e.Src, e.Dst)
+		}
+		seen[key] = true
+	}
+}
+
+func TestUniformBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		g := Uniform(UniformOptions{NumVertices: 200, NumEdges: 500, Seed: seed})
+		return g.EdgeArray.Validate() == nil && g.NumEdges() == 500
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratorDefaultsDoNotPanic(t *testing.T) {
+	if g := Road(RoadOptions{}); g.NumVertices() == 0 {
+		t.Fatal("road defaults produced empty graph")
+	}
+	if g := Bipartite(BipartiteOptions{}); g.NumVertices() == 0 {
+		t.Fatal("bipartite defaults produced empty graph")
+	}
+	if g := Uniform(UniformOptions{}); g.NumVertices() == 0 {
+		t.Fatal("uniform defaults produced empty graph")
+	}
+	if g := TwitterProfile(TwitterProfileOptions{Scale: 6}); g.NumEdges() == 0 {
+		t.Fatal("twitter defaults produced empty graph")
+	}
+}

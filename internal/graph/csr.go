@@ -1,0 +1,132 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Adjacency is a compressed-sparse-row (CSR) adjacency structure: for every
+// vertex v, the neighbour ids (and weights) of v are stored contiguously in
+// Targets[Index[v]:Index[v+1]]. Depending on how it was built it represents
+// either outgoing neighbours (destinations of out-edges) or incoming
+// neighbours (sources of in-edges).
+//
+// This is the "adjacency list" layout of the paper: per-vertex edge arrays
+// stored contiguously, i.e. CSR (Section 3.2, "the edges are stored
+// contiguously in memory, corresponding to compressed sparse row format").
+type Adjacency struct {
+	// Index has NumVertices+1 entries; vertex v's neighbours occupy
+	// positions Index[v] to Index[v+1] (exclusive) of Targets and Weights.
+	Index []uint64
+	// Targets holds the neighbour vertex ids.
+	Targets []VertexID
+	// Weights holds the corresponding edge weights. It is always allocated
+	// alongside Targets so that weighted algorithms can run on any dataset;
+	// unweighted generators fill it with 1.
+	Weights []Weight
+	// NumVertices is the number of vertices covered by Index.
+	NumVertices int
+	// SortedByTarget records whether each per-vertex neighbour array is
+	// sorted by neighbour id (the optimization evaluated in Section 5).
+	SortedByTarget bool
+}
+
+// Degree returns the number of neighbours of v.
+func (a *Adjacency) Degree(v VertexID) int {
+	return int(a.Index[v+1] - a.Index[v])
+}
+
+// Neighbors returns the neighbour slice of v (shared storage, do not
+// modify).
+func (a *Adjacency) Neighbors(v VertexID) []VertexID {
+	return a.Targets[a.Index[v]:a.Index[v+1]]
+}
+
+// NeighborWeights returns the weight slice parallel to Neighbors(v).
+func (a *Adjacency) NeighborWeights(v VertexID) []Weight {
+	return a.Weights[a.Index[v]:a.Index[v+1]]
+}
+
+// NumEdges returns the total number of stored neighbour entries.
+func (a *Adjacency) NumEdges() int { return len(a.Targets) }
+
+// Validate checks structural invariants: monotone index, index covering all
+// targets, neighbour ids in range, and the sortedness flag.
+func (a *Adjacency) Validate() error {
+	if len(a.Index) != a.NumVertices+1 {
+		return fmt.Errorf("graph: CSR index has %d entries, want %d", len(a.Index), a.NumVertices+1)
+	}
+	if a.Index[0] != 0 {
+		return fmt.Errorf("graph: CSR index must start at 0, got %d", a.Index[0])
+	}
+	if a.Index[a.NumVertices] != uint64(len(a.Targets)) {
+		return fmt.Errorf("graph: CSR index ends at %d, want %d", a.Index[a.NumVertices], len(a.Targets))
+	}
+	if len(a.Weights) != len(a.Targets) {
+		return fmt.Errorf("graph: CSR weights length %d != targets length %d", len(a.Weights), len(a.Targets))
+	}
+	for v := 0; v < a.NumVertices; v++ {
+		if a.Index[v] > a.Index[v+1] {
+			return fmt.Errorf("graph: CSR index not monotone at vertex %d", v)
+		}
+	}
+	n := VertexID(a.NumVertices)
+	for i, t := range a.Targets {
+		if t >= n {
+			return fmt.Errorf("graph: CSR target %d at position %d out of range", t, i)
+		}
+	}
+	if a.SortedByTarget {
+		for v := 0; v < a.NumVertices; v++ {
+			nb := a.Neighbors(VertexID(v))
+			for i := 1; i < len(nb); i++ {
+				if nb[i-1] > nb[i] {
+					return fmt.Errorf("graph: CSR marked sorted but vertex %d is not", v)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// SortNeighbors sorts each per-vertex neighbour array by target id, carrying
+// the weights along, and sets SortedByTarget. This is the extra
+// pre-processing step whose (absent) benefit is measured in Section 5.2.
+func (a *Adjacency) SortNeighbors() {
+	for v := 0; v < a.NumVertices; v++ {
+		lo, hi := a.Index[v], a.Index[v+1]
+		if hi-lo < 2 {
+			continue
+		}
+		nb := a.Targets[lo:hi]
+		w := a.Weights[lo:hi]
+		sort.Sort(&neighborSorter{nb: nb, w: w})
+	}
+	a.SortedByTarget = true
+}
+
+type neighborSorter struct {
+	nb []VertexID
+	w  []Weight
+}
+
+func (s *neighborSorter) Len() int           { return len(s.nb) }
+func (s *neighborSorter) Less(i, j int) bool { return s.nb[i] < s.nb[j] }
+func (s *neighborSorter) Swap(i, j int) {
+	s.nb[i], s.nb[j] = s.nb[j], s.nb[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}
+
+// Edges reconstructs the (src,dst,weight) triples represented by the CSR,
+// interpreting it as an out-adjacency. Used by tests to check that builders
+// preserve the edge multiset.
+func (a *Adjacency) Edges() []Edge {
+	out := make([]Edge, 0, len(a.Targets))
+	for v := 0; v < a.NumVertices; v++ {
+		lo, hi := a.Index[v], a.Index[v+1]
+		for i := lo; i < hi; i++ {
+			out = append(out, Edge{Src: VertexID(v), Dst: a.Targets[i], W: a.Weights[i]})
+		}
+	}
+	return out
+}

@@ -1,0 +1,242 @@
+package graph
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Frontier is the set of active vertices processed during one computation
+// step. The engine keeps it in one of two representations:
+//
+//   - sparse: an explicit list of vertex ids, cheap when few vertices are
+//     active (the common case for BFS/SSSP iterations);
+//   - dense: a bitmap over all vertices, cheap when most of the graph is
+//     active (the dense middle iterations of BFS, every iteration of
+//     PageRank) and required by pull-mode traversal, which must test
+//     membership for arbitrary vertices.
+//
+// The push-pull (direction-optimizing) switch of Section 6 decides per
+// iteration which representation and direction to use, based on the number
+// of active vertices and their outgoing edges.
+type Frontier struct {
+	numVertices int
+	sparse      []VertexID
+	dense       []uint64 // bitmap, valid when isDense
+	isDense     bool
+	count       int   // number of active vertices
+	outEdges    int64 // sum of out-degrees of active vertices, -1 if unknown
+}
+
+// NewFrontier creates an empty sparse frontier for a graph with numVertices
+// vertices.
+func NewFrontier(numVertices int) *Frontier {
+	return &Frontier{numVertices: numVertices, outEdges: -1}
+}
+
+// NewFrontierFromSparse creates a frontier from an explicit vertex list. The
+// list is retained (not copied).
+func NewFrontierFromSparse(numVertices int, vs []VertexID) *Frontier {
+	return &Frontier{numVertices: numVertices, sparse: vs, count: len(vs), outEdges: -1}
+}
+
+// NewDenseFrontier creates a dense frontier with all of the given vertices
+// marked active.
+func NewDenseFrontier(numVertices int, vs []VertexID) *Frontier {
+	f := &Frontier{numVertices: numVertices, isDense: true, outEdges: -1}
+	f.dense = make([]uint64, (numVertices+63)/64)
+	for _, v := range vs {
+		f.dense[v/64] |= 1 << (v % 64)
+	}
+	f.count = len(vs)
+	return f
+}
+
+// FullFrontier returns a dense frontier with every vertex active, used by
+// algorithms that process the whole graph each iteration (PageRank, SpMV).
+func FullFrontier(numVertices int) *Frontier {
+	f := &Frontier{numVertices: numVertices, isDense: true, outEdges: -1}
+	f.dense = make([]uint64, (numVertices+63)/64)
+	for i := range f.dense {
+		f.dense[i] = ^uint64(0)
+	}
+	// Clear the bits beyond numVertices so Count stays exact.
+	if rem := numVertices % 64; rem != 0 && len(f.dense) > 0 {
+		f.dense[len(f.dense)-1] = (1 << rem) - 1
+	}
+	f.count = numVertices
+	return f
+}
+
+// NumVertices returns the size of the vertex universe.
+func (f *Frontier) NumVertices() int { return f.numVertices }
+
+// Count returns the number of active vertices.
+func (f *Frontier) Count() int { return f.count }
+
+// IsEmpty reports whether no vertex is active.
+func (f *Frontier) IsEmpty() bool { return f.count == 0 }
+
+// IsDense reports whether the frontier currently uses the bitmap
+// representation.
+func (f *Frontier) IsDense() bool { return f.isDense }
+
+// SetOutEdges records the total number of outgoing edges of the active
+// vertices; the push-pull heuristic uses it.
+func (f *Frontier) SetOutEdges(n int64) { f.outEdges = n }
+
+// OutEdges returns the recorded active out-edge count, or -1 if unknown.
+func (f *Frontier) OutEdges() int64 { return f.outEdges }
+
+// Contains reports whether v is active. It works on both representations
+// (O(1) dense, O(count) sparse; the engine densifies before any
+// membership-heavy phase).
+func (f *Frontier) Contains(v VertexID) bool {
+	if f.isDense {
+		return f.dense[v/64]&(1<<(v%64)) != 0
+	}
+	for _, u := range f.sparse {
+		if u == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Sparse returns the active vertices as a slice, converting if necessary.
+func (f *Frontier) Sparse() []VertexID {
+	if !f.isDense {
+		return f.sparse
+	}
+	out := make([]VertexID, 0, f.count)
+	for w, word := range f.dense {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			out = append(out, VertexID(w*64+b))
+			word &= word - 1
+		}
+	}
+	return out
+}
+
+// Bitmap returns the dense bitmap, converting if necessary. The returned
+// slice is shared with the frontier.
+func (f *Frontier) Bitmap() []uint64 {
+	if f.isDense {
+		return f.dense
+	}
+	f.dense = make([]uint64, (f.numVertices+63)/64)
+	for _, v := range f.sparse {
+		f.dense[v/64] |= 1 << (v % 64)
+	}
+	f.isDense = true
+	return f.dense
+}
+
+// ToDense converts the frontier to the dense representation in place.
+func (f *Frontier) ToDense() { f.Bitmap() }
+
+// ToSparse converts the frontier to the sparse representation in place.
+func (f *Frontier) ToSparse() {
+	if !f.isDense {
+		return
+	}
+	f.sparse = f.Sparse()
+	f.dense = nil
+	f.isDense = false
+}
+
+// FrontierBuilder accumulates the next frontier during an iteration. It is
+// safe for concurrent use: vertices are marked in a shared bitmap with
+// atomic operations, and per-worker sparse lists avoid contention on a
+// shared slice. Collect merges the per-worker lists into a Frontier.
+type FrontierBuilder struct {
+	numVertices int
+	bits        []uint64
+	perWorker   [][]VertexID
+}
+
+// NewFrontierBuilder creates a builder for numVertices vertices and the
+// given number of workers.
+func NewFrontierBuilder(numVertices, workers int) *FrontierBuilder {
+	if workers < 1 {
+		workers = 1
+	}
+	return &FrontierBuilder{
+		numVertices: numVertices,
+		bits:        make([]uint64, (numVertices+63)/64),
+		perWorker:   make([][]VertexID, workers),
+	}
+}
+
+// Add marks v active (idempotent, thread-safe) on behalf of the given
+// worker. It returns true if this call was the one that activated v.
+func (b *FrontierBuilder) Add(worker int, v VertexID) bool {
+	word := &b.bits[v/64]
+	mask := uint64(1) << (v % 64)
+	for {
+		old := atomic.LoadUint64(word)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(word, old, old|mask) {
+			b.perWorker[worker] = append(b.perWorker[worker], v)
+			return true
+		}
+	}
+}
+
+// AddUnsynced marks v active without atomics. It must only be used when the
+// caller guarantees that no other worker can add the same vertex (e.g.
+// pull-mode traversal, where each vertex is processed by exactly one
+// worker).
+func (b *FrontierBuilder) AddUnsynced(worker int, v VertexID) bool {
+	word := &b.bits[v/64]
+	mask := uint64(1) << (v % 64)
+	if *word&mask != 0 {
+		return false
+	}
+	*word |= mask
+	b.perWorker[worker] = append(b.perWorker[worker], v)
+	return true
+}
+
+// Contains reports whether v has been added.
+func (b *FrontierBuilder) Contains(v VertexID) bool {
+	return atomic.LoadUint64(&b.bits[v/64])&(1<<(v%64)) != 0
+}
+
+// Collect merges the per-worker lists into a sparse Frontier (reusing the
+// builder's bitmap as the dense form so the result can flip representation
+// cheaply).
+func (b *FrontierBuilder) Collect() *Frontier {
+	total := 0
+	for _, l := range b.perWorker {
+		total += len(l)
+	}
+	all := make([]VertexID, 0, total)
+	for _, l := range b.perWorker {
+		all = append(all, l...)
+	}
+	f := &Frontier{
+		numVertices: b.numVertices,
+		sparse:      all,
+		count:       total,
+		outEdges:    -1,
+	}
+	return f
+}
+
+// CollectDense merges the builder into a dense Frontier, reusing the bitmap.
+func (b *FrontierBuilder) CollectDense() *Frontier {
+	total := 0
+	for _, l := range b.perWorker {
+		total += len(l)
+	}
+	return &Frontier{
+		numVertices: b.numVertices,
+		dense:       b.bits,
+		isDense:     true,
+		count:       total,
+		outEdges:    -1,
+	}
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFrontierSparseDenseConversions(t *testing.T) {
+	vs := []VertexID{3, 17, 64, 65, 99}
+	f := NewFrontierFromSparse(128, vs)
+	if f.IsDense() {
+		t.Fatal("expected sparse representation")
+	}
+	if f.Count() != len(vs) {
+		t.Fatalf("Count = %d", f.Count())
+	}
+	for _, v := range vs {
+		if !f.Contains(v) {
+			t.Fatalf("Contains(%d) = false", v)
+		}
+	}
+	if f.Contains(4) {
+		t.Fatal("Contains(4) should be false")
+	}
+
+	f.ToDense()
+	if !f.IsDense() {
+		t.Fatal("expected dense representation")
+	}
+	for _, v := range vs {
+		if !f.Contains(v) {
+			t.Fatalf("dense Contains(%d) = false", v)
+		}
+	}
+	got := f.Sparse()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != len(vs) {
+		t.Fatalf("Sparse() = %v", got)
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Fatalf("Sparse()[%d] = %d, want %d", i, got[i], vs[i])
+		}
+	}
+
+	f.ToSparse()
+	if f.IsDense() {
+		t.Fatal("expected sparse after ToSparse")
+	}
+	if f.Count() != len(vs) {
+		t.Fatalf("Count after round trip = %d", f.Count())
+	}
+}
+
+func TestFullFrontier(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000} {
+		f := FullFrontier(n)
+		if f.Count() != n {
+			t.Fatalf("FullFrontier(%d).Count() = %d", n, f.Count())
+		}
+		if n > 0 && !f.Contains(VertexID(n-1)) {
+			t.Fatalf("FullFrontier(%d) missing last vertex", n)
+		}
+		if got := len(f.Sparse()); got != n {
+			t.Fatalf("FullFrontier(%d).Sparse() has %d entries", n, got)
+		}
+	}
+}
+
+func TestNewDenseFrontier(t *testing.T) {
+	f := NewDenseFrontier(70, []VertexID{0, 69})
+	if !f.IsDense() || f.Count() != 2 {
+		t.Fatalf("unexpected frontier state: dense=%v count=%d", f.IsDense(), f.Count())
+	}
+	if !f.Contains(0) || !f.Contains(69) || f.Contains(5) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestFrontierOutEdgesAnnotation(t *testing.T) {
+	f := NewFrontier(10)
+	if f.OutEdges() != -1 {
+		t.Fatalf("default OutEdges = %d, want -1", f.OutEdges())
+	}
+	f.SetOutEdges(42)
+	if f.OutEdges() != 42 {
+		t.Fatalf("OutEdges = %d", f.OutEdges())
+	}
+	if !f.IsEmpty() {
+		t.Fatal("new frontier should be empty")
+	}
+}
+
+func TestFrontierBuilderConcurrentAdds(t *testing.T) {
+	const n = 1 << 12
+	b := NewFrontierBuilder(n, 4)
+	done := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		go func(worker int) {
+			defer func() { done <- struct{}{} }()
+			for v := 0; v < n; v++ {
+				b.Add(worker, VertexID(v))
+			}
+		}(w)
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	f := b.Collect()
+	if f.Count() != n {
+		t.Fatalf("Count = %d, want %d (every vertex added exactly once)", f.Count(), n)
+	}
+	seen := make(map[VertexID]bool, n)
+	for _, v := range f.Sparse() {
+		if seen[v] {
+			t.Fatalf("vertex %d collected twice", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestFrontierBuilderCollectDense(t *testing.T) {
+	b := NewFrontierBuilder(100, 1)
+	b.AddUnsynced(0, 5)
+	b.AddUnsynced(0, 5) // duplicate ignored
+	b.AddUnsynced(0, 64)
+	f := b.CollectDense()
+	if !f.IsDense() || f.Count() != 2 {
+		t.Fatalf("CollectDense: dense=%v count=%d", f.IsDense(), f.Count())
+	}
+	if !f.Contains(5) || !f.Contains(64) {
+		t.Fatal("membership wrong after CollectDense")
+	}
+	if !b.Contains(5) || b.Contains(6) {
+		t.Fatal("builder Contains wrong")
+	}
+}
+
+// TestFrontierSetSemanticsProperty: converting between representations never
+// changes the set of active vertices.
+func TestFrontierSetSemanticsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		const n = 512
+		uniq := map[VertexID]bool{}
+		var vs []VertexID
+		for _, r := range raw {
+			v := VertexID(r % n)
+			if !uniq[v] {
+				uniq[v] = true
+				vs = append(vs, v)
+			}
+		}
+		fr := NewFrontierFromSparse(n, vs)
+		fr.ToDense()
+		fr.ToSparse()
+		if fr.Count() != len(vs) {
+			return false
+		}
+		for _, v := range vs {
+			if !fr.Contains(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

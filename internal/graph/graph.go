@@ -1,0 +1,192 @@
+// Package graph contains the in-memory graph representations studied by the
+// paper (Section 3.1 and 5.1):
+//
+//   - the edge array, the default input layout with zero pre-processing cost;
+//   - adjacency lists in compressed sparse row (CSR) form, with outgoing
+//     and/or incoming per-vertex edge arrays, optionally sorted by
+//     destination;
+//   - the grid layout adapted from GridGraph, a 2-D array of cells where
+//     cell (i,j) holds the edges whose source falls in vertex range i and
+//     whose destination falls in vertex range j.
+//
+// It also contains the frontier (active-vertex set) abstraction used by the
+// engine, with sparse and dense representations and conversions between
+// them.
+package graph
+
+import (
+	"fmt"
+)
+
+// VertexID identifies a vertex. Graphs in the evaluated size range (up to a
+// few hundred million vertices) fit comfortably in 32 bits, which matches
+// the memory layout assumptions of the paper (4-byte vertex identifiers).
+type VertexID = uint32
+
+// Weight is an edge weight. SSSP, SpMV and ALS use it; BFS, WCC and
+// PageRank ignore it.
+type Weight = float32
+
+// Edge is a directed edge with an optional weight. The input format of the
+// paper is an array of (source, destination) pairs; weights are stored
+// alongside so that the same array serves SSSP/SpMV/ALS.
+type Edge struct {
+	Src VertexID
+	Dst VertexID
+	W   Weight
+}
+
+// EdgeArray is the simplest layout: the raw list of edges, as mapped from
+// the input file. It incurs no pre-processing cost (Section 3.2) and
+// supports only edge-centric computation (a full scan per step).
+type EdgeArray struct {
+	// Edges holds every directed edge. For undirected computation the array
+	// is interpreted symmetrically by the engine (each stored edge is
+	// traversed in both directions); no doubling is required, matching the
+	// paper's observation that edge arrays need no extra pre-processing for
+	// undirected algorithms such as WCC.
+	Edges []Edge
+	// NumVertices is one greater than the largest vertex id that appears in
+	// Edges (isolated trailing vertices may raise it further).
+	NumVertices int
+}
+
+// NumEdges returns the number of stored (directed) edges.
+func (ea *EdgeArray) NumEdges() int { return len(ea.Edges) }
+
+// MaxVertex scans the edges and returns one plus the largest endpoint, i.e.
+// the minimal consistent NumVertices value.
+func MaxVertex(edges []Edge) int {
+	maxV := VertexID(0)
+	seen := false
+	for _, e := range edges {
+		seen = true
+		if e.Src > maxV {
+			maxV = e.Src
+		}
+		if e.Dst > maxV {
+			maxV = e.Dst
+		}
+	}
+	if !seen {
+		return 0
+	}
+	return int(maxV) + 1
+}
+
+// NewEdgeArray wraps a slice of edges into an EdgeArray. If numVertices is
+// zero it is derived from the edges.
+func NewEdgeArray(edges []Edge, numVertices int) *EdgeArray {
+	if numVertices <= 0 {
+		numVertices = MaxVertex(edges)
+	}
+	return &EdgeArray{Edges: edges, NumVertices: numVertices}
+}
+
+// Validate checks that every endpoint is within [0, NumVertices).
+func (ea *EdgeArray) Validate() error {
+	n := VertexID(ea.NumVertices)
+	for i, e := range ea.Edges {
+		if e.Src >= n || e.Dst >= n {
+			return fmt.Errorf("graph: edge %d (%d->%d) out of range (numVertices=%d)", i, e.Src, e.Dst, ea.NumVertices)
+		}
+	}
+	return nil
+}
+
+// Undirect returns a new edge slice with each edge mirrored, used to build
+// undirected adjacency lists (Section 8: WCC requires inserting each edge in
+// both endpoints' arrays, which is what makes adjacency-list pre-processing
+// more expensive for undirected algorithms).
+func Undirect(edges []Edge) []Edge {
+	out := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		out = append(out, e)
+		if e.Src != e.Dst {
+			out = append(out, Edge{Src: e.Dst, Dst: e.Src, W: e.W})
+		}
+	}
+	return out
+}
+
+// Layout enumerates the data layouts studied by the paper.
+type Layout int
+
+const (
+	// LayoutEdgeArray streams the raw edge list (edge-centric, X-Stream).
+	LayoutEdgeArray Layout = iota
+	// LayoutAdjacency uses CSR per-vertex edge arrays (vertex-centric, Ligra).
+	LayoutAdjacency
+	// LayoutAdjacencySorted is LayoutAdjacency with each per-vertex edge
+	// array sorted by destination id (the cache optimization evaluated and
+	// rejected in Section 5.2).
+	LayoutAdjacencySorted
+	// LayoutGrid partitions edges into a 2-D grid of cells (GridGraph).
+	LayoutGrid
+)
+
+// String returns the short name used in benchmark tables.
+func (l Layout) String() string {
+	switch l {
+	case LayoutEdgeArray:
+		return "edge-array"
+	case LayoutAdjacency:
+		return "adjacency"
+	case LayoutAdjacencySorted:
+		return "adjacency-sorted"
+	case LayoutGrid:
+		return "grid"
+	default:
+		return fmt.Sprintf("Layout(%d)", int(l))
+	}
+}
+
+// Graph bundles the layouts that have been materialized for a dataset. At
+// minimum the edge array is present (it is the input format); other layouts
+// are attached by the pre-processing package and consumed by the engine.
+type Graph struct {
+	// EdgeArray always holds the input edges.
+	EdgeArray *EdgeArray
+	// Out is the CSR over outgoing edges (nil until built).
+	Out *Adjacency
+	// In is the CSR over incoming edges (nil until built).
+	In *Adjacency
+	// Grid is the grid layout (nil until built).
+	Grid *Grid
+	// Directed records whether the dataset is directed. Undirected datasets
+	// store each edge once in the edge array; adjacency lists double them.
+	Directed bool
+}
+
+// NumVertices returns the number of vertices of the dataset.
+func (g *Graph) NumVertices() int { return g.EdgeArray.NumVertices }
+
+// NumEdges returns the number of input edges (not doubled for undirected
+// datasets).
+func (g *Graph) NumEdges() int { return g.EdgeArray.NumEdges() }
+
+// New creates a Graph from raw edges.
+func New(edges []Edge, numVertices int, directed bool) *Graph {
+	return &Graph{
+		EdgeArray: NewEdgeArray(edges, numVertices),
+		Directed:  directed,
+	}
+}
+
+// OutDegrees computes the out-degree of every vertex from the edge array.
+func (ea *EdgeArray) OutDegrees() []uint32 {
+	deg := make([]uint32, ea.NumVertices)
+	for _, e := range ea.Edges {
+		deg[e.Src]++
+	}
+	return deg
+}
+
+// InDegrees computes the in-degree of every vertex from the edge array.
+func (ea *EdgeArray) InDegrees() []uint32 {
+	deg := make([]uint32, ea.NumVertices)
+	for _, e := range ea.Edges {
+		deg[e.Dst]++
+	}
+	return deg
+}

@@ -1,0 +1,141 @@
+package graph
+
+import "fmt"
+
+// Grid is the cache-locality layout adapted from GridGraph (Section 5.1 and
+// Figure 4): vertices are divided into P contiguous ranges, and cell (i,j)
+// holds every edge whose source lies in range i and whose destination lies
+// in range j. Iterating cell by cell keeps the metadata of the (at most
+// NumVertices/P) vertices touched by a cell resident in the last-level
+// cache.
+//
+// The grid also gives a natural lock-free parallelization (Section 6.1.2):
+// cells in different columns have disjoint destination ranges, so assigning
+// whole columns to workers makes push updates race-free; cells in different
+// rows have disjoint source ranges, so assigning whole rows to workers makes
+// pull updates race-free.
+//
+// Cells are stored in a single contiguous edge slice (CellIndex delimits
+// them) so that streaming a cell has the same prefetch-friendly behaviour as
+// streaming the edge array.
+type Grid struct {
+	// P is the number of ranges per dimension; the grid has P*P cells.
+	P int
+	// RangeSize is the number of vertex ids covered by each range
+	// (ceil(NumVertices/P)); the last range may be partially used.
+	RangeSize int
+	// NumVertices is the vertex count of the underlying graph.
+	NumVertices int
+	// Edges holds all edges grouped by cell in row-major order: first every
+	// cell of row 0 (source range 0), then row 1, and so on.
+	Edges []Edge
+	// CellIndex has P*P+1 entries; cell (i,j) occupies
+	// Edges[CellIndex[i*P+j]:CellIndex[i*P+j+1]].
+	CellIndex []uint64
+}
+
+// DefaultGridP is the grid dimension found experimentally best in the paper
+// for the Twitter and RMAT26 graphs (a 256x256 grid).
+const DefaultGridP = 256
+
+// GridPFor picks a grid dimension for a graph with numVertices vertices.
+// The paper uses 256x256 for its large graphs; for small graphs a finer
+// grid than one vertex per range is pointless, so P is capped so that each
+// range holds at least a handful of vertices.
+func GridPFor(numVertices, requested int) int {
+	p := requested
+	if p <= 0 {
+		p = DefaultGridP
+	}
+	// Keep at least 4 vertices per range so cells are not degenerate on
+	// small test graphs.
+	for p > 1 && numVertices/p < 4 {
+		p /= 2
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// RangeOf returns the range index that vertex v falls into.
+func (g *Grid) RangeOf(v VertexID) int {
+	return int(v) / g.RangeSize
+}
+
+// CellOf returns the cell coordinates of an edge.
+func (g *Grid) CellOf(e Edge) (row, col int) {
+	return g.RangeOf(e.Src), g.RangeOf(e.Dst)
+}
+
+// Cell returns the edge slice of cell (row, col) (shared storage).
+func (g *Grid) Cell(row, col int) []Edge {
+	idx := row*g.P + col
+	return g.Edges[g.CellIndex[idx]:g.CellIndex[idx+1]]
+}
+
+// RangeBounds returns the half-open vertex-id interval [lo, hi) covered by
+// range r (clamped to NumVertices).
+func (g *Grid) RangeBounds(r int) (lo, hi VertexID) {
+	l := r * g.RangeSize
+	h := l + g.RangeSize
+	if h > g.NumVertices {
+		h = g.NumVertices
+	}
+	if l > g.NumVertices {
+		l = g.NumVertices
+	}
+	return VertexID(l), VertexID(h)
+}
+
+// NumEdges returns the number of edges stored in the grid.
+func (g *Grid) NumEdges() int { return len(g.Edges) }
+
+// NumCells returns the number of cells (P*P).
+func (g *Grid) NumCells() int { return g.P * g.P }
+
+// Validate checks the grid invariants: index shape, monotonicity, and that
+// every edge is stored in the cell its endpoints map to.
+func (g *Grid) Validate() error {
+	if g.P <= 0 {
+		return fmt.Errorf("graph: grid has non-positive dimension %d", g.P)
+	}
+	if g.RangeSize <= 0 {
+		return fmt.Errorf("graph: grid has non-positive range size %d", g.RangeSize)
+	}
+	if len(g.CellIndex) != g.P*g.P+1 {
+		return fmt.Errorf("graph: grid cell index has %d entries, want %d", len(g.CellIndex), g.P*g.P+1)
+	}
+	if g.CellIndex[0] != 0 || g.CellIndex[g.P*g.P] != uint64(len(g.Edges)) {
+		return fmt.Errorf("graph: grid cell index does not cover the edge slice")
+	}
+	for c := 0; c < g.P*g.P; c++ {
+		if g.CellIndex[c] > g.CellIndex[c+1] {
+			return fmt.Errorf("graph: grid cell index not monotone at cell %d", c)
+		}
+	}
+	for row := 0; row < g.P; row++ {
+		for col := 0; col < g.P; col++ {
+			for _, e := range g.Cell(row, col) {
+				r, c := g.CellOf(e)
+				if r != row || c != col {
+					return fmt.Errorf("graph: edge %d->%d stored in cell (%d,%d) but belongs to (%d,%d)",
+						e.Src, e.Dst, row, col, r, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ForEachCell invokes fn for every non-empty cell in row-major order.
+func (g *Grid) ForEachCell(fn func(row, col int, edges []Edge)) {
+	for row := 0; row < g.P; row++ {
+		for col := 0; col < g.P; col++ {
+			cell := g.Cell(row, col)
+			if len(cell) > 0 {
+				fn(row, col, cell)
+			}
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestBreakdownTotalAndAdd(t *testing.T) {
+	a := Breakdown{Load: 1 * time.Second, Preprocess: 2 * time.Second, Partition: 3 * time.Second, Algorithm: 4 * time.Second}
+	if a.Total() != 10*time.Second {
+		t.Fatalf("Total = %v", a.Total())
+	}
+	b := Breakdown{Algorithm: 1 * time.Second}
+	sum := a.Add(b)
+	if sum.Algorithm != 5*time.Second || sum.Load != 1*time.Second {
+		t.Fatalf("Add = %+v", sum)
+	}
+	half := a.Scale(0.5)
+	if half.Preprocess != 1*time.Second || half.Total() != 5*time.Second {
+		t.Fatalf("Scale = %+v", half)
+	}
+}
+
+func TestBreakdownAddCommutativeProperty(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x := Breakdown{Preprocess: time.Duration(a), Algorithm: time.Duration(b)}
+		y := Breakdown{Preprocess: time.Duration(b), Partition: time.Duration(a)}
+		return x.Add(y).Total() == y.Add(x).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownString(t *testing.T) {
+	b := Breakdown{Preprocess: 1500 * time.Millisecond, Algorithm: 500 * time.Millisecond}
+	s := b.String()
+	if !strings.Contains(s, "pre=1.5s") || !strings.Contains(s, "algo=500ms") || !strings.Contains(s, "total=2s") {
+		t.Fatalf("unexpected String(): %q", s)
+	}
+	if strings.Contains(s, "load=") || strings.Contains(s, "part=") {
+		t.Fatalf("zero phases must be omitted: %q", s)
+	}
+	withLoad := Breakdown{Load: time.Second}
+	if !strings.Contains(withLoad.String(), "load=1s") {
+		t.Fatalf("load phase missing: %q", withLoad.String())
+	}
+}
+
+func TestStopwatchLap(t *testing.T) {
+	sw := NewStopwatch()
+	time.Sleep(5 * time.Millisecond)
+	lap1 := sw.Lap()
+	if lap1 < 4*time.Millisecond {
+		t.Fatalf("lap1 = %v, expected at least ~5ms", lap1)
+	}
+	lap2 := sw.Lap()
+	if lap2 > lap1 {
+		t.Fatalf("second lap (%v) should be shorter than the first (%v)", lap2, lap1)
+	}
+	if sw.Total() < lap1 {
+		t.Fatal("total must cover the first lap")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Demo", "a", "b")
+	tbl.AddRow("row-two", map[string]string{"a": "1", "b": "22"})
+	tbl.AddRow("row-one", map[string]string{"a": "333", "b": "4"})
+	out := tbl.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatalf("missing title: %q", out)
+	}
+	if !strings.Contains(out, "configuration") {
+		t.Fatalf("missing header: %q", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title, header, 2 rows
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	// Missing values render as empty strings, not panics.
+	tbl.AddRow("row-three", map[string]string{"a": "x"})
+	_ = tbl.String()
+
+	tbl.SortRows()
+	if tbl.Rows[0].Label != "row-one" {
+		t.Fatalf("SortRows did not sort: first row is %q", tbl.Rows[0].Label)
+	}
+}
+
+func TestTableAddDurations(t *testing.T) {
+	tbl := NewTable("T", "preprocess", "algorithm", "total")
+	tbl.AddDurations("x", Breakdown{Preprocess: time.Second, Algorithm: 2 * time.Second})
+	out := tbl.String()
+	if !strings.Contains(out, "1.000s") || !strings.Contains(out, "2.000s") || !strings.Contains(out, "3.000s") {
+		t.Fatalf("durations missing from table: %q", out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FormatSeconds(1500*time.Millisecond) != "1.500s" {
+		t.Fatalf("FormatSeconds = %q", FormatSeconds(1500*time.Millisecond))
+	}
+	if FormatRatio(0.258) != "26%" {
+		t.Fatalf("FormatRatio = %q", FormatRatio(0.258))
+	}
+	if Speedup(2*time.Second, time.Second) != "2.0x" {
+		t.Fatalf("Speedup = %q", Speedup(2*time.Second, time.Second))
+	}
+	if Speedup(time.Second, 0) != "inf" {
+		t.Fatalf("Speedup by zero = %q", Speedup(time.Second, 0))
+	}
+}

@@ -1,0 +1,92 @@
+// Package numa provides the NUMA substrate for Section 7 of the paper:
+// graph partitioning across NUMA nodes (the Polymer/Gemini placement
+// scheme), the interleaved baseline, and a cost model that translates the
+// locality and contention characteristics of an execution into the relative
+// algorithm-time effects the paper measures on its two machines.
+//
+// Go offers no portable control over memory or thread placement, so the
+// reproduction cannot *enforce* NUMA placement; it instead simulates the
+// machines. The partitioners are real (they produce the same per-node
+// subgraphs Polymer and Gemini build, and their construction cost is
+// measured as real wall-clock work), while the *effect* of placement on
+// algorithm time is modeled from three first-order quantities:
+//
+//   - the fraction of edges whose two endpoints land on the same node
+//     (local accesses are cheaper than remote ones),
+//   - the average access latency of the placement (interleaving spreads
+//     accesses uniformly across nodes),
+//   - memory-bus contention, which appears when the vertices active in an
+//     iteration concentrate on a single node (the effect that makes
+//     NUMA-aware BFS slower than interleaved BFS, Figures 9a and 10).
+package numa
+
+// Machine describes a simulated NUMA machine.
+type Machine struct {
+	// Name identifies the machine in reports.
+	Name string
+	// Nodes is the number of NUMA nodes.
+	Nodes int
+	// CoresPerNode is the number of cores per node (informational; the
+	// engine's parallelism is independent).
+	CoresPerNode int
+	// LocalLatency is the relative cost of an access served by the local
+	// node (arbitrary units; only ratios matter).
+	LocalLatency float64
+	// RemoteLatency is the relative cost of an access served by a remote
+	// node.
+	RemoteLatency float64
+	// MemoryBoundFraction is the fraction of algorithm execution time that
+	// is sensitive to memory access latency (graph kernels are heavily
+	// memory bound).
+	MemoryBoundFraction float64
+	// ContentionExponent shapes the penalty applied when accesses
+	// concentrate on a single node: the per-iteration slowdown is
+	// (share * Nodes)^ContentionExponent for the most loaded node's share.
+	ContentionExponent float64
+}
+
+// MachineA models the paper's machine A: 2 Intel Xeon E5-2630 sockets
+// (2 NUMA nodes, 16 cores). Its remote/local latency ratio is modest, which
+// is why the paper finds NUMA-aware placement rarely pays off on it.
+var MachineA = Machine{
+	Name:                "A",
+	Nodes:               2,
+	CoresPerNode:        8,
+	LocalLatency:        1.0,
+	RemoteLatency:       1.6,
+	MemoryBoundFraction: 0.85,
+	ContentionExponent:  0.75,
+}
+
+// MachineB models the paper's machine B: 4 AMD Opteron 6272 sockets
+// (4 NUMA nodes, 32 cores), with a higher remote-access penalty — the
+// machine on which NUMA-aware placement pays off for long-running
+// algorithms.
+var MachineB = Machine{
+	Name:                "B",
+	Nodes:               4,
+	CoresPerNode:        8,
+	LocalLatency:        1.0,
+	RemoteLatency:       2.8,
+	MemoryBoundFraction: 0.85,
+	ContentionExponent:  0.75,
+}
+
+// InterleavedLatency returns the average access latency under interleaved
+// (round-robin) placement: 1/Nodes of accesses are local, the rest remote.
+func (m Machine) InterleavedLatency() float64 {
+	n := float64(m.Nodes)
+	return (m.LocalLatency + (n-1)*m.RemoteLatency) / n
+}
+
+// PlacementLatency returns the average access latency when localFraction of
+// accesses are served locally.
+func (m Machine) PlacementLatency(localFraction float64) float64 {
+	if localFraction < 0 {
+		localFraction = 0
+	}
+	if localFraction > 1 {
+		localFraction = 1
+	}
+	return localFraction*m.LocalLatency + (1-localFraction)*m.RemoteLatency
+}

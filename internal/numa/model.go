@@ -1,0 +1,196 @@
+package numa
+
+import (
+	"math"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+// ExecutionProfile captures, per iteration, how the active work was
+// distributed across vertices — the input the cost model needs to detect the
+// contention pathologies of Figures 9a and 10 (all cores hammering the one
+// node that owns the current BFS frontier).
+type ExecutionProfile struct {
+	// IterationWork[i][k] is the amount of work (active vertices weighted
+	// by degree) that iteration i directed at node k under the analyzed
+	// partition.
+	IterationWork [][]float64
+}
+
+// ProfileFrontiers builds an ExecutionProfile from the per-iteration
+// frontiers recorded by the engine: every active vertex contributes its
+// out-degree (or 1 if degrees are unavailable) to the node that owns it.
+func ProfileFrontiers(p *Partition, history [][]graph.VertexID, outDegrees []uint32) ExecutionProfile {
+	prof := ExecutionProfile{IterationWork: make([][]float64, len(history))}
+	for i, frontier := range history {
+		work := make([]float64, p.Nodes)
+		for _, v := range frontier {
+			w := 1.0
+			if outDegrees != nil && int(v) < len(outDegrees) {
+				w = 1.0 + float64(outDegrees[v])
+			}
+			work[p.NodeOf(v)] += w
+		}
+		prof.IterationWork[i] = work
+	}
+	return prof
+}
+
+// ContentionFactor computes the average per-access slowdown caused by
+// memory-bus contention under the given machine: for every iteration the
+// most-loaded node's share of the work is compared against the balanced
+// share 1/Nodes, and the excess is penalized with the machine's contention
+// exponent. Iterations are weighted by their total work, so a few tiny
+// skewed iterations (the first BFS level) do not dominate.
+func (m Machine) ContentionFactor(prof ExecutionProfile) float64 {
+	totalWork := 0.0
+	weighted := 0.0
+	balanced := 1.0 / float64(m.Nodes)
+	for _, work := range prof.IterationWork {
+		sum := 0.0
+		max := 0.0
+		for _, w := range work {
+			sum += w
+			if w > max {
+				max = w
+			}
+		}
+		if sum == 0 {
+			continue
+		}
+		share := max / sum
+		factor := 1.0
+		if share > balanced {
+			// share*Nodes is 1 when balanced and Nodes when fully
+			// concentrated on one node.
+			factor = math.Pow(share*float64(m.Nodes), m.ContentionExponent)
+		}
+		totalWork += sum
+		weighted += sum * factor
+	}
+	if totalWork == 0 {
+		return 1
+	}
+	return weighted / totalWork
+}
+
+// PlacementKind labels the two placements compared in Figures 9 and 10.
+type PlacementKind int
+
+const (
+	// PlacementInterleaved spreads pages round-robin across nodes.
+	PlacementInterleaved PlacementKind = iota
+	// PlacementNUMAAware uses the Polymer/Gemini partitioning.
+	PlacementNUMAAware
+)
+
+// String returns the label used in benchmark tables.
+func (p PlacementKind) String() string {
+	if p == PlacementNUMAAware {
+		return "numa-aware"
+	}
+	return "interleaved"
+}
+
+// ModelInput gathers everything the cost model needs to turn a measured
+// algorithm time into the pair of modeled times (interleaved vs NUMA-aware)
+// for a machine.
+type ModelInput struct {
+	// Measured is the wall-clock algorithm time of the run (interpreted as
+	// the interleaved execution on the target machine).
+	Measured time.Duration
+	// LocalFraction is the structural locality of the NUMA-aware placement:
+	// the fraction of memory accesses served locally when every node's
+	// workers process their own partition (see AccessLocalFraction).
+	LocalFraction float64
+	// Profile is the per-iteration work distribution across nodes. It may
+	// be empty (dense whole-graph algorithms), in which case every
+	// iteration is treated as perfectly balanced.
+	Profile ExecutionProfile
+}
+
+// ModelAlgorithmTime returns the modeled algorithm execution time for the
+// given placement on machine m.
+//
+// The measured time is taken to be the interleaved execution: interleaving
+// is placement-agnostic, so its behaviour does not depend on hardware we
+// cannot control from Go. The NUMA-aware time rescales the memory-bound
+// fraction of the measured time iteration by iteration:
+//
+//   - when an iteration's work is spread across the nodes, each node's
+//     workers touch mostly local data, so the iteration enjoys the
+//     placement's structural locality (this is the Polymer/Gemini benefit
+//     for whole-graph algorithms such as PageRank, Figure 9b);
+//
+//   - when an iteration's work concentrates on one node (the BFS pathology
+//     of Figures 9a and 10), only that node's workers access local memory —
+//     the others reach across the interconnect — and all of them queue on a
+//     single memory controller, which the model charges as a
+//     (share*Nodes)^ContentionExponent slowdown of the iteration.
+//
+// Iterations are weighted by their recorded work; an empty profile means
+// every iteration is balanced.
+func (m Machine) ModelAlgorithmTime(in ModelInput, placement PlacementKind) time.Duration {
+	if placement == PlacementInterleaved {
+		return in.Measured
+	}
+	factor := m.placementFactor(in.LocalFraction, in.Profile)
+	scaled := (1 - m.MemoryBoundFraction) + m.MemoryBoundFraction*factor
+	return time.Duration(float64(in.Measured) * scaled)
+}
+
+// placementFactor returns the work-weighted ratio of NUMA-aware to
+// interleaved memory access cost.
+func (m Machine) placementFactor(structuralLocal float64, prof ExecutionProfile) float64 {
+	interleaved := m.InterleavedLatency()
+	balancedShare := 1.0 / float64(m.Nodes)
+
+	totalWork := 0.0
+	weighted := 0.0
+	for _, work := range prof.IterationWork {
+		sum := 0.0
+		max := 0.0
+		for _, w := range work {
+			sum += w
+			if w > max {
+				max = w
+			}
+		}
+		if sum == 0 {
+			continue
+		}
+		share := max / sum
+		weighted += sum * m.iterationFactor(structuralLocal, share, balancedShare, interleaved)
+		totalWork += sum
+	}
+	if totalWork == 0 {
+		// No recorded (or perfectly dense) iterations: balanced work.
+		return m.iterationFactor(structuralLocal, balancedShare, balancedShare, interleaved)
+	}
+	return weighted / totalWork
+}
+
+// iterationFactor models one iteration whose most-loaded node holds `share`
+// of the work.
+func (m Machine) iterationFactor(structuralLocal, share, balancedShare, interleaved float64) float64 {
+	if share < balancedShare {
+		share = balancedShare
+	}
+	// Balancedness interpolates the effective locality between the
+	// structural locality (perfectly spread work: every node's workers stay
+	// on their partition) and 1/Nodes (fully concentrated work: only the
+	// owning node's workers are local).
+	balancedness := 0.0
+	if balancedShare < 1 {
+		balancedness = (1 - share) / (1 - balancedShare)
+	}
+	effectiveLocal := structuralLocal*balancedness + balancedShare*(1-balancedness)
+	latRatio := m.PlacementLatency(effectiveLocal) / interleaved
+
+	contention := 1.0
+	if share > balancedShare {
+		contention = math.Pow(share*float64(m.Nodes), m.ContentionExponent)
+	}
+	return latRatio * contention
+}

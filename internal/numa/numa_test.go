@@ -1,0 +1,353 @@
+package numa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+func testGraph(seed int64) *graph.Graph {
+	return gen.RMAT(gen.RMATOptions{Scale: 12, EdgeFactor: 8, Seed: seed})
+}
+
+func TestMachineLatencies(t *testing.T) {
+	for _, m := range []Machine{MachineA, MachineB} {
+		inter := m.InterleavedLatency()
+		if inter <= m.LocalLatency || inter >= m.RemoteLatency {
+			t.Fatalf("machine %s: interleaved latency %v must lie between local %v and remote %v",
+				m.Name, inter, m.LocalLatency, m.RemoteLatency)
+		}
+		if m.PlacementLatency(1) != m.LocalLatency {
+			t.Fatalf("machine %s: fully local placement must cost the local latency", m.Name)
+		}
+		if m.PlacementLatency(0) != m.RemoteLatency {
+			t.Fatalf("machine %s: fully remote placement must cost the remote latency", m.Name)
+		}
+		// Clamping.
+		if m.PlacementLatency(2) != m.LocalLatency || m.PlacementLatency(-1) != m.RemoteLatency {
+			t.Fatalf("machine %s: PlacementLatency must clamp its argument", m.Name)
+		}
+	}
+	if MachineA.Nodes != 2 || MachineB.Nodes != 4 {
+		t.Fatal("machine node counts must match the paper (A=2, B=4)")
+	}
+}
+
+func TestInterleavePlacement(t *testing.T) {
+	p := Interleave(100, 4)
+	if !p.Interleaved || p.Nodes != 4 {
+		t.Fatalf("unexpected partition: %+v", p)
+	}
+	counts := make([]int, 4)
+	for v := 0; v < 100; v++ {
+		counts[p.NodeOf(graph.VertexID(v))]++
+	}
+	for k, c := range counts {
+		if c != 25 {
+			t.Fatalf("node %d owns %d vertices, want 25", k, c)
+		}
+	}
+}
+
+func TestPartitionGeminiBalancesEdges(t *testing.T) {
+	g := testGraph(1)
+	p, err := PartitionGemini(g, 4)
+	if err != nil {
+		t.Fatalf("PartitionGemini: %v", err)
+	}
+	if len(p.Bounds) != 5 || p.Bounds[0] != 0 || int(p.Bounds[4]) != g.NumVertices() {
+		t.Fatalf("bounds malformed: %v", p.Bounds)
+	}
+	total := 0
+	for _, e := range p.EdgesPerNode {
+		total += e
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("edges per node sum to %d, want %d", total, g.NumEdges())
+	}
+	// Balance: no node should hold more than twice the fair share of edges
+	// (the partitioner balances in-edges greedily over contiguous ranges,
+	// so skew from a single huge vertex is bounded but not zero).
+	fair := g.NumEdges() / 4
+	for k, e := range p.EdgesPerNode {
+		if e > 3*fair {
+			t.Fatalf("node %d has %d edges, fair share is %d", k, e, fair)
+		}
+	}
+	// Vertices covered exactly once.
+	vtotal := 0
+	for _, v := range p.VerticesPerNode {
+		vtotal += v
+	}
+	if vtotal != g.NumVertices() {
+		t.Fatalf("vertices per node sum to %d, want %d", vtotal, g.NumVertices())
+	}
+}
+
+func TestPartitionGeminiErrors(t *testing.T) {
+	g := testGraph(2)
+	if _, err := PartitionGemini(g, 0); err == nil {
+		t.Fatal("expected error for zero nodes")
+	}
+	empty := graph.New(nil, 0, true)
+	if _, err := PartitionGemini(empty, 2); err == nil {
+		t.Fatal("expected error for empty graph")
+	}
+}
+
+func TestNodeOfCoversAllNodesProperty(t *testing.T) {
+	g := testGraph(3)
+	p, err := PartitionGemini(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(raw uint32) bool {
+		v := graph.VertexID(int(raw) % g.NumVertices())
+		k := p.NodeOf(v)
+		if k < 0 || k >= 4 {
+			return false
+		}
+		// Consistent with the bounds.
+		return v >= p.Bounds[k] && v < p.Bounds[k+1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuildNodeSubgraphsPartitionsAllEdges(t *testing.T) {
+	g := testGraph(4)
+	p, err := PartitionGemini(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := BuildNodeSubgraphs(g, p, 0)
+	total := 0
+	for k, edges := range sub.InEdges {
+		total += len(edges)
+		for _, e := range edges {
+			if p.NodeOf(e.Dst) != k {
+				t.Fatalf("edge %d->%d assigned to node %d but destination lives on node %d",
+					e.Src, e.Dst, k, p.NodeOf(e.Dst))
+			}
+		}
+	}
+	if total != g.NumEdges() {
+		t.Fatalf("subgraphs hold %d edges, want %d", total, g.NumEdges())
+	}
+}
+
+func TestLocalFractions(t *testing.T) {
+	g := testGraph(5)
+	p, err := PartitionGemini(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lf := LocalEdgeFraction(g, p)
+	if lf < 0 || lf > 1 {
+		t.Fatalf("local edge fraction %v out of range", lf)
+	}
+	af := AccessLocalFraction(g, p)
+	if af <= lf || af > 1 {
+		t.Fatalf("access-local fraction %v must exceed the edge-local fraction %v", af, lf)
+	}
+	// An interleaved partition has roughly 1/nodes edge locality.
+	inter := Interleave(g.NumVertices(), 4)
+	li := LocalEdgeFraction(g, inter)
+	if li < 0.15 || li > 0.40 {
+		t.Fatalf("interleaved local fraction %v should be near 0.25", li)
+	}
+	// Single node: everything is local.
+	one := Interleave(g.NumVertices(), 1)
+	if LocalEdgeFraction(g, one) != 1 {
+		t.Fatal("single-node placement must be fully local")
+	}
+}
+
+func TestContentionFactor(t *testing.T) {
+	m := MachineB
+	// Balanced work: factor 1.
+	balanced := ExecutionProfile{IterationWork: [][]float64{{10, 10, 10, 10}}}
+	if f := m.ContentionFactor(balanced); f != 1 {
+		t.Fatalf("balanced contention = %v, want 1", f)
+	}
+	// Fully concentrated work: factor > 1 and at most Nodes^exp.
+	concentrated := ExecutionProfile{IterationWork: [][]float64{{40, 0, 0, 0}}}
+	f := m.ContentionFactor(concentrated)
+	if f <= 1 {
+		t.Fatalf("concentrated contention = %v, want > 1", f)
+	}
+	// Empty profile: factor 1.
+	if f := m.ContentionFactor(ExecutionProfile{}); f != 1 {
+		t.Fatalf("empty profile contention = %v, want 1", f)
+	}
+	// Concentration should hurt more on the 4-node machine than on the
+	// 2-node machine.
+	concentratedA := ExecutionProfile{IterationWork: [][]float64{{40, 0}}}
+	if MachineA.ContentionFactor(concentratedA) >= f {
+		t.Fatal("machine A contention should be milder than machine B")
+	}
+}
+
+func TestProfileFrontiers(t *testing.T) {
+	g := testGraph(6)
+	p, err := PartitionGemini(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outDeg := g.EdgeArray.OutDegrees()
+	history := [][]graph.VertexID{
+		{0, 1, 2},
+		nil, // dense iteration marker
+		{graph.VertexID(g.NumVertices() - 1)},
+	}
+	prof := ProfileFrontiers(p, history, outDeg)
+	if len(prof.IterationWork) != 3 {
+		t.Fatalf("profile has %d iterations, want 3", len(prof.IterationWork))
+	}
+	// First iteration's work is all on the node owning vertices 0..2.
+	firstNode := p.NodeOf(0)
+	for k, w := range prof.IterationWork[0] {
+		if k != firstNode && w != 0 {
+			t.Fatalf("unexpected work on node %d: %v", k, w)
+		}
+	}
+	// Dense iteration contributes no recorded work (treated as balanced).
+	for _, w := range prof.IterationWork[1] {
+		if w != 0 {
+			t.Fatal("nil frontier should record zero work")
+		}
+	}
+}
+
+// balancedProfile and concentratedProfile are the two extremes the model
+// must distinguish: work spread across all nodes vs work landing on one.
+func balancedProfile(nodes int, iterations int) ExecutionProfile {
+	p := ExecutionProfile{}
+	for i := 0; i < iterations; i++ {
+		work := make([]float64, nodes)
+		for k := range work {
+			work[k] = 100
+		}
+		p.IterationWork = append(p.IterationWork, work)
+	}
+	return p
+}
+
+func concentratedProfile(nodes int, iterations int) ExecutionProfile {
+	p := ExecutionProfile{}
+	for i := 0; i < iterations; i++ {
+		work := make([]float64, nodes)
+		work[0] = 100 * float64(nodes)
+		p.IterationWork = append(p.IterationWork, work)
+	}
+	return p
+}
+
+func TestModelAlgorithmTime(t *testing.T) {
+	m := MachineB
+	measured := 100 * time.Millisecond
+
+	// Interleaved: the measured time is returned untouched.
+	if got := m.ModelAlgorithmTime(ModelInput{Measured: measured}, PlacementInterleaved); got != measured {
+		t.Fatalf("interleaved modeled time = %v, want %v", got, measured)
+	}
+	// High structural locality with balanced work: NUMA-aware must be
+	// faster (the PageRank case, Figure 9b).
+	fast := m.ModelAlgorithmTime(ModelInput{
+		Measured: measured, LocalFraction: 0.9, Profile: balancedProfile(m.Nodes, 5),
+	}, PlacementNUMAAware)
+	if fast >= measured {
+		t.Fatalf("balanced local placement should speed the run up: %v vs %v", fast, measured)
+	}
+	// An empty profile is treated as balanced work.
+	dense := m.ModelAlgorithmTime(ModelInput{Measured: measured, LocalFraction: 0.9}, PlacementNUMAAware)
+	if dense != fast {
+		t.Fatalf("empty profile must model balanced work: %v vs %v", dense, fast)
+	}
+	// Fully concentrated work: NUMA-aware must be slower even with good
+	// structural locality (the BFS pathology, Figures 9a and 10).
+	slow := m.ModelAlgorithmTime(ModelInput{
+		Measured: measured, LocalFraction: 0.9, Profile: concentratedProfile(m.Nodes, 5),
+	}, PlacementNUMAAware)
+	if slow <= measured {
+		t.Fatalf("concentrated placement should slow the run down: %v vs %v", slow, measured)
+	}
+}
+
+// TestModelSpeedupLargerOnMachineB reproduces the shape of Figure 9b: the
+// same locality improvement helps more on the 4-node machine with the higher
+// remote-access penalty than on the 2-node machine.
+func TestModelSpeedupLargerOnMachineB(t *testing.T) {
+	measured := time.Second
+	speedup := func(m Machine) float64 {
+		in := ModelInput{Measured: measured, LocalFraction: 0.85, Profile: balancedProfile(m.Nodes, 3)}
+		return float64(measured) / float64(m.ModelAlgorithmTime(in, PlacementNUMAAware))
+	}
+	a, b := speedup(MachineA), speedup(MachineB)
+	if b <= a {
+		t.Fatalf("machine B speedup (%.2f) should exceed machine A (%.2f)", b, a)
+	}
+	if a < 1.0 {
+		t.Fatalf("machine A speedup %.2f should not be a slowdown for balanced work", a)
+	}
+}
+
+// TestModelMixedProfileWeighting: a profile dominated by concentrated work
+// must be slower than one dominated by balanced work.
+func TestModelMixedProfileWeighting(t *testing.T) {
+	m := MachineB
+	measured := time.Second
+	mostlyConcentrated := ExecutionProfile{IterationWork: [][]float64{
+		{400, 0, 0, 0}, {400, 0, 0, 0}, {400, 0, 0, 0}, {25, 25, 25, 25},
+	}}
+	mostlyBalanced := ExecutionProfile{IterationWork: [][]float64{
+		{100, 100, 100, 100}, {100, 100, 100, 100}, {100, 100, 100, 100}, {40, 0, 0, 0},
+	}}
+	tc := m.ModelAlgorithmTime(ModelInput{Measured: measured, LocalFraction: 0.9, Profile: mostlyConcentrated}, PlacementNUMAAware)
+	tb := m.ModelAlgorithmTime(ModelInput{Measured: measured, LocalFraction: 0.9, Profile: mostlyBalanced}, PlacementNUMAAware)
+	if tc <= tb {
+		t.Fatalf("concentrated-heavy profile (%v) should be slower than balanced-heavy (%v)", tc, tb)
+	}
+}
+
+func TestPlacementKindString(t *testing.T) {
+	if PlacementInterleaved.String() != "interleaved" || PlacementNUMAAware.String() != "numa-aware" {
+		t.Fatal("unexpected placement names")
+	}
+}
+
+func TestPartitionBalanceProperty(t *testing.T) {
+	f := func(seed int64, nodesRaw uint8) bool {
+		nodes := int(nodesRaw%6) + 1
+		rng := rand.New(rand.NewSource(seed))
+		n := 200 + rng.Intn(200)
+		edges := make([]graph.Edge, 2000)
+		for i := range edges {
+			edges[i] = graph.Edge{Src: graph.VertexID(rng.Intn(n)), Dst: graph.VertexID(rng.Intn(n))}
+		}
+		g := graph.New(edges, n, true)
+		p, err := PartitionGemini(g, nodes)
+		if err != nil {
+			return false
+		}
+		// Every vertex maps to a valid node and bounds are monotone.
+		for k := 0; k < nodes; k++ {
+			if p.Bounds[k] > p.Bounds[k+1] {
+				return false
+			}
+		}
+		total := 0
+		for _, v := range p.VerticesPerNode {
+			total += v
+		}
+		return total == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,216 @@
+package prep
+
+import (
+	"math/bits"
+	"sort"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
+)
+
+// radixDigitBits is the digit width used by the radix sort. The paper uses
+// 8-bit digits (256 buckets), requiring log2(#vertices)/8 passes.
+const radixDigitBits = 8
+
+// radixBuckets is the number of buckets per pass.
+const radixBuckets = 1 << radixDigitBits
+
+// radixPasses returns the number of digit passes needed to sort keys in
+// [0, numVertices).
+func radixPasses(numVertices int) int {
+	if numVertices <= 1 {
+		return 1
+	}
+	keyBits := bits.Len(uint(numVertices - 1))
+	return (keyBits + radixDigitBits - 1) / radixDigitBits
+}
+
+// radixSortEdges returns a copy of edges sorted (stably) by the requested
+// key vertex using a parallel least-significant-digit radix sort: for every
+// 8-bit digit, per-chunk bucket histograms are computed in parallel, a
+// global exclusive scan assigns each (bucket, chunk) pair its output window,
+// and chunks scatter their edges into those windows in parallel. Buckets are
+// therefore written sequentially by each worker, which is the property that
+// gives radix sort its cache advantage over count sort (Table 2).
+func radixSortEdges(edges []graph.Edge, numVertices int, byDst bool, workers int) []graph.Edge {
+	n := len(edges)
+	src := make([]graph.Edge, n)
+	copy(src, edges)
+	if n < 2 {
+		return src
+	}
+	dst := make([]graph.Edge, n)
+
+	if workers <= 0 {
+		workers = sched.MaxWorkers()
+	}
+	// Chunk the input so every worker owns a contiguous region per pass.
+	chunkSize := (n + workers - 1) / workers
+	numChunks := (n + chunkSize - 1) / chunkSize
+
+	passes := radixPasses(numVertices)
+	counts := make([][]uint64, numChunks)
+	for c := range counts {
+		counts[c] = make([]uint64, radixBuckets)
+	}
+
+	for pass := 0; pass < passes; pass++ {
+		shift := uint(pass * radixDigitBits)
+
+		// Per-chunk histogram of the current digit.
+		sched.ParallelFor(0, numChunks, workers, func(c int) {
+			cnt := counts[c]
+			for b := range cnt {
+				cnt[b] = 0
+			}
+			lo := c * chunkSize
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				d := (edgeKey(src[i], byDst) >> shift) & (radixBuckets - 1)
+				cnt[d]++
+			}
+		})
+
+		// Exclusive scan in (bucket-major, chunk-minor) order: this gives a
+		// stable sort because chunk c's elements of bucket b precede chunk
+		// c+1's elements of bucket b.
+		var running uint64
+		for b := 0; b < radixBuckets; b++ {
+			for c := 0; c < numChunks; c++ {
+				v := counts[c][b]
+				counts[c][b] = running
+				running += v
+			}
+		}
+
+		// Scatter.
+		sched.ParallelFor(0, numChunks, workers, func(c int) {
+			offs := counts[c]
+			lo := c * chunkSize
+			hi := lo + chunkSize
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				d := (edgeKey(src[i], byDst) >> shift) & (radixBuckets - 1)
+				dst[offs[d]] = src[i]
+				offs[d]++
+			}
+		})
+
+		src, dst = dst, src
+	}
+	return src
+}
+
+// buildRadixSort builds a CSR adjacency by radix-sorting the edge array by
+// its key vertex and slicing the sorted array into per-vertex ranges
+// (Section 3.2: "Vertices use an index in the sorted edge array to point to
+// their outgoing edge array").
+func buildRadixSort(edges []graph.Edge, numVertices int, byDst bool, workers int) *graph.Adjacency {
+	sorted := radixSortEdges(edges, numVertices, byDst, workers)
+	adj := &graph.Adjacency{
+		Index:       make([]uint64, numVertices+1),
+		Targets:     make([]graph.VertexID, len(sorted)),
+		Weights:     make([]graph.Weight, len(sorted)),
+		NumVertices: numVertices,
+	}
+	n := len(sorted)
+	if n == 0 {
+		return adj
+	}
+
+	// Derive the CSR index from key boundaries in the sorted array. Every
+	// position i where the key changes (or i==0) defines the start of the
+	// range for all vertices in (previousKey, currentKey]. The gaps filled
+	// by different positions are disjoint, so the pass parallelizes without
+	// synchronization.
+	index := adj.Index
+	sched.ParallelForChunked(0, n, sched.DefaultChunkSize, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cur := edgeKey(sorted[i], byDst)
+			if i == 0 {
+				for v := graph.VertexID(0); v <= cur; v++ {
+					index[v] = 0
+				}
+				continue
+			}
+			prev := edgeKey(sorted[i-1], byDst)
+			if prev != cur {
+				for v := prev + 1; v <= cur; v++ {
+					index[v] = uint64(i)
+				}
+			}
+		}
+	})
+	// Vertices after the last key, plus the terminator.
+	last := edgeKey(sorted[n-1], byDst)
+	for v := int(last) + 1; v <= numVertices; v++ {
+		index[v] = uint64(n)
+	}
+
+	// Copy targets and weights in parallel.
+	sched.ParallelForChunked(0, n, sched.DefaultChunkSize, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			adj.Targets[i] = otherEnd(sorted[i], byDst)
+			adj.Weights[i] = sorted[i].W
+		}
+	})
+	return adj
+}
+
+// SortNeighborsParallel sorts every per-vertex edge array by neighbour id,
+// in parallel over vertices. It implements the adjacency-list cache
+// optimization evaluated (and found unhelpful) in Section 5.2.
+func SortNeighborsParallel(a *graph.Adjacency, workers int) {
+	sched.ParallelForChunked(0, a.NumVertices, 256, workers, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			sortNeighborRange(a, graph.VertexID(v))
+		}
+	})
+	a.SortedByTarget = true
+}
+
+// insertionSortThreshold bounds the neighbour-range length handled by
+// insertion sort; longer ranges (power-law hubs with thousands of
+// neighbours) use sort.Sort to avoid quadratic behaviour.
+const insertionSortThreshold = 64
+
+// sortNeighborRange sorts the neighbour range of a single vertex by target
+// id, carrying weights along. Per-vertex ranges are short on average, so
+// insertion sort handles the common case without allocation; hub vertices
+// fall back to the standard sort.
+func sortNeighborRange(a *graph.Adjacency, v graph.VertexID) {
+	lo, hi := a.Index[v], a.Index[v+1]
+	nb := a.Targets[lo:hi]
+	w := a.Weights[lo:hi]
+	if len(nb) > insertionSortThreshold {
+		sort.Sort(&neighborRangeSorter{nb: nb, w: w})
+		return
+	}
+	for i := 1; i < len(nb); i++ {
+		tn, tw := nb[i], w[i]
+		j := i - 1
+		for j >= 0 && nb[j] > tn {
+			nb[j+1], w[j+1] = nb[j], w[j]
+			j--
+		}
+		nb[j+1], w[j+1] = tn, tw
+	}
+}
+
+// neighborRangeSorter sorts a neighbour slice and its parallel weight slice.
+type neighborRangeSorter struct {
+	nb []graph.VertexID
+	w  []graph.Weight
+}
+
+func (s *neighborRangeSorter) Len() int           { return len(s.nb) }
+func (s *neighborRangeSorter) Less(i, j int) bool { return s.nb[i] < s.nb[j] }
+func (s *neighborRangeSorter) Swap(i, j int) {
+	s.nb[i], s.nb[j] = s.nb[j], s.nb[i]
+	s.w[i], s.w[j] = s.w[j], s.w[i]
+}

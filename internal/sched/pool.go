@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// Task is a unit of work executed by a Pool worker. The worker index is
+// passed so tasks can use per-worker scratch state without locking.
+type Task func(worker int)
+
+// Pool is a work-stealing thread pool: each worker owns a deque of tasks,
+// pushes locally produced work onto its own deque, and steals from a random
+// victim when its deque is empty. It is the direct substitute for the Cilk
+// runtime's scheduler used by the paper.
+//
+// The pool is intended for irregular, nested work (e.g. recursive radix-sort
+// buckets, frontier expansion with per-vertex fan-out); for flat loops the
+// chunked parallel-for helpers in this package are cheaper.
+type Pool struct {
+	workers int
+	deques  []*deque
+	wg      sync.WaitGroup
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int  // submitted but not yet finished tasks
+	queued  int  // submitted but not yet dequeued tasks
+	closed  bool // Close has been called; no further Submits allowed
+	stopped bool // workers should exit once the deques drain
+}
+
+// NewPool creates a pool with p workers (p<=0 selects MaxWorkers) and starts
+// them. Close must be called to release the workers.
+func NewPool(p int) *Pool {
+	p = normWorkers(p)
+	pool := &Pool{
+		workers: p,
+		deques:  make([]*deque, p),
+	}
+	pool.cond = sync.NewCond(&pool.mu)
+	for i := range pool.deques {
+		pool.deques[i] = newDeque()
+	}
+	pool.wg.Add(p)
+	for i := 0; i < p; i++ {
+		go pool.run(i)
+	}
+	return pool
+}
+
+// Workers returns the number of workers in the pool.
+func (p *Pool) Workers() int { return p.workers }
+
+// Submit enqueues a task on the deque of a pseudo-randomly chosen worker.
+func (p *Pool) Submit(t Task) {
+	p.SubmitTo(rand.Intn(p.workers), t)
+}
+
+// SubmitTo enqueues a task on a specific worker's deque. Worker indexes wrap
+// around, so callers may pass any non-negative integer (e.g. a partition or
+// NUMA-node id) to obtain a stable assignment.
+func (p *Pool) SubmitTo(worker int, t Task) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		panic("sched: Submit on closed Pool")
+	}
+	p.pending++
+	p.queued++
+	p.mu.Unlock()
+	p.deques[worker%p.workers].push(t)
+	p.mu.Lock()
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// Wait blocks until every submitted task has finished.
+func (p *Pool) Wait() {
+	p.mu.Lock()
+	for p.pending > 0 {
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+}
+
+// Close waits for queued tasks to finish and then shuts the workers down.
+// The pool must not be used after Close. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	p.mu.Unlock()
+
+	p.Wait()
+
+	p.mu.Lock()
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *Pool) run(worker int) {
+	defer p.wg.Done()
+	self := p.deques[worker]
+	for {
+		t, ok := self.pop()
+		if !ok {
+			t, ok = p.steal(worker)
+		}
+		if ok {
+			p.mu.Lock()
+			p.queued--
+			p.mu.Unlock()
+			t(worker)
+			p.mu.Lock()
+			p.pending--
+			if p.pending == 0 {
+				p.cond.Broadcast()
+			}
+			p.mu.Unlock()
+			continue
+		}
+		// No work anywhere: sleep until new work is queued or shutdown.
+		p.mu.Lock()
+		for p.queued == 0 && !p.stopped {
+			p.cond.Wait()
+		}
+		if p.stopped && p.queued == 0 {
+			p.mu.Unlock()
+			return
+		}
+		p.mu.Unlock()
+	}
+}
+
+// steal attempts to take a task from another worker, scanning all other
+// workers once starting from a random victim.
+func (p *Pool) steal(self int) (Task, bool) {
+	if p.workers == 1 {
+		return nil, false
+	}
+	start := rand.Intn(p.workers)
+	for i := 0; i < p.workers; i++ {
+		v := (start + i) % p.workers
+		if v == self {
+			continue
+		}
+		if t, ok := p.deques[v].steal(); ok {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// deque is a mutex-protected double-ended queue of tasks. The owner pushes
+// and pops at the back (LIFO, good locality for nested work); thieves steal
+// from the front (FIFO, takes the oldest, typically largest, subproblems).
+// A mutex per deque is sufficient here: contention is limited to steals,
+// which are rare when chunking is adequate.
+type deque struct {
+	mu    sync.Mutex
+	tasks []Task
+}
+
+func newDeque() *deque { return &deque{} }
+
+func (d *deque) push(t Task) {
+	d.mu.Lock()
+	d.tasks = append(d.tasks, t)
+	d.mu.Unlock()
+}
+
+func (d *deque) pop() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := len(d.tasks)
+	if n == 0 {
+		return nil, false
+	}
+	t := d.tasks[n-1]
+	d.tasks[n-1] = nil
+	d.tasks = d.tasks[:n-1]
+	return t, true
+}
+
+func (d *deque) steal() (Task, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.tasks) == 0 {
+		return nil, false
+	}
+	t := d.tasks[0]
+	d.tasks[0] = nil
+	d.tasks = d.tasks[1:]
+	return t, true
+}
+
+// len reports the number of queued tasks (used by tests).
+func (d *deque) len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.tasks)
+}

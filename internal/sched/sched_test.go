@@ -1,0 +1,230 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestParallelForCoversEveryIndexOnce(t *testing.T) {
+	const n = 10000
+	var hits [n]int32
+	ParallelFor(0, n, 4, func(i int) {
+		atomic.AddInt32(&hits[i], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForEmptyAndSingle(t *testing.T) {
+	ran := false
+	ParallelFor(5, 5, 4, func(int) { ran = true })
+	if ran {
+		t.Fatal("empty range must not execute the body")
+	}
+	count := 0
+	ParallelFor(7, 8, 4, func(i int) {
+		if i != 7 {
+			t.Fatalf("unexpected index %d", i)
+		}
+		count++
+	})
+	if count != 1 {
+		t.Fatalf("single-element range executed %d times", count)
+	}
+}
+
+func TestParallelForChunkedCoversRange(t *testing.T) {
+	const begin, end = 100, 5000
+	var total int64
+	ParallelForChunked(begin, end, 37, 8, func(lo, hi int) {
+		if lo < begin || hi > end || lo >= hi {
+			t.Errorf("bad chunk [%d,%d)", lo, hi)
+		}
+		atomic.AddInt64(&total, int64(hi-lo))
+	})
+	if total != end-begin {
+		t.Fatalf("covered %d elements, want %d", total, end-begin)
+	}
+}
+
+func TestParallelForWorkerIndexInRange(t *testing.T) {
+	const workers = 3
+	var bad int32
+	ParallelForWorker(0, 1000, 16, workers, func(worker, lo, hi int) {
+		if worker < 0 || worker >= workers {
+			atomic.AddInt32(&bad, 1)
+		}
+	})
+	if bad != 0 {
+		t.Fatal("worker index out of range")
+	}
+}
+
+func TestParallelReduceSum(t *testing.T) {
+	const n = 100000
+	got := ParallelReduce(0, n, 1000, 8, int64(0),
+		func(lo, hi int, acc int64) int64 {
+			for i := lo; i < hi; i++ {
+				acc += int64(i)
+			}
+			return acc
+		},
+		func(a, b int64) int64 { return a + b })
+	want := int64(n) * (n - 1) / 2
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestParallelReduceMatchesSequentialProperty(t *testing.T) {
+	f := func(vals []int32) bool {
+		var want int64
+		for _, v := range vals {
+			want += int64(v)
+		}
+		got := ParallelReduce(0, len(vals), 7, 4, int64(0),
+			func(lo, hi int, acc int64) int64 {
+				for i := lo; i < hi; i++ {
+					acc += int64(vals[i])
+				}
+				return acc
+			},
+			func(a, b int64) int64 { return a + b })
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoRunsAllFunctions(t *testing.T) {
+	var a, b, c int32
+	Do(
+		func() { atomic.StoreInt32(&a, 1) },
+		func() { atomic.StoreInt32(&b, 1) },
+		func() { atomic.StoreInt32(&c, 1) },
+	)
+	if a != 1 || b != 1 || c != 1 {
+		t.Fatal("not every function ran")
+	}
+	Do() // must not panic
+	ran := false
+	Do(func() { ran = true })
+	if !ran {
+		t.Fatal("single function did not run")
+	}
+}
+
+func TestMaxWorkersPositive(t *testing.T) {
+	if MaxWorkers() < 1 {
+		t.Fatal("MaxWorkers must be at least 1")
+	}
+	if normWorkers(0) != MaxWorkers() || normWorkers(-3) != MaxWorkers() || normWorkers(2) != 2 {
+		t.Fatal("normWorkers wrong")
+	}
+	if normChunk(0) != DefaultChunkSize || normChunk(5) != 5 {
+		t.Fatal("normChunk wrong")
+	}
+}
+
+func TestPoolExecutesAllTasks(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	const n = 1000
+	var count int64
+	for i := 0; i < n; i++ {
+		p.Submit(func(worker int) {
+			if worker < 0 || worker >= p.Workers() {
+				t.Errorf("bad worker index %d", worker)
+			}
+			atomic.AddInt64(&count, 1)
+		})
+	}
+	p.Wait()
+	if count != n {
+		t.Fatalf("executed %d tasks, want %d", count, n)
+	}
+}
+
+func TestPoolNestedSubmission(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	var count int64
+	var wg sync.WaitGroup
+	wg.Add(10)
+	for i := 0; i < 10; i++ {
+		p.Submit(func(worker int) {
+			// Tasks spawn children, mimicking recursive work.
+			for j := 0; j < 10; j++ {
+				p.Submit(func(int) { atomic.AddInt64(&count, 1) })
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	p.Wait()
+	if count != 100 {
+		t.Fatalf("executed %d child tasks, want 100", count)
+	}
+}
+
+func TestPoolSubmitTo(t *testing.T) {
+	p := NewPool(2)
+	defer p.Close()
+	var hits [2]int64
+	for i := 0; i < 100; i++ {
+		worker := i % 2
+		p.SubmitTo(worker, func(w int) {
+			atomic.AddInt64(&hits[w], 1)
+		})
+	}
+	p.Wait()
+	if hits[0]+hits[1] != 100 {
+		t.Fatalf("executed %d tasks, want 100", hits[0]+hits[1])
+	}
+}
+
+func TestPoolCloseIsIdempotentAndRejectsSubmit(t *testing.T) {
+	p := NewPool(2)
+	p.Submit(func(int) {})
+	p.Close()
+	p.Close() // second close must not hang or panic
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Submit after Close must panic")
+		}
+	}()
+	p.Submit(func(int) {})
+}
+
+func TestDequeLIFOOwnerFIFOThief(t *testing.T) {
+	d := newDeque()
+	order := []int{}
+	for i := 0; i < 3; i++ {
+		i := i
+		d.push(func(int) { order = append(order, i) })
+	}
+	if d.len() != 3 {
+		t.Fatalf("len = %d", d.len())
+	}
+	// Thief takes the oldest.
+	if task, ok := d.steal(); !ok {
+		t.Fatal("steal failed")
+	} else {
+		task(0)
+	}
+	// Owner pops the newest.
+	if task, ok := d.pop(); !ok {
+		t.Fatal("pop failed")
+	} else {
+		task(0)
+	}
+	if len(order) != 2 || order[0] != 0 || order[1] != 2 {
+		t.Fatalf("execution order = %v, want [0 2]", order)
+	}
+}

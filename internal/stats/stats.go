@@ -1,0 +1,235 @@
+// Package stats characterizes graphs structurally: degree distributions,
+// skew, and diameter estimates. The reproduction replaces the paper's
+// real-world datasets (Twitter, US-Road, Netflix) with generated stand-ins;
+// this package provides the evidence that the stand-ins have the structural
+// properties that drive the paper's conclusions — power-law skew for the
+// Twitter/RMAT family, high diameter and uniformly low degree for the road
+// graph, and bipartite popularity skew for the rating graph.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+// DegreeStats summarizes a degree distribution.
+type DegreeStats struct {
+	// Min, Max and Mean are over all vertices (including isolated ones).
+	Min, Max uint32
+	Mean     float64
+	// Median and P99 are percentiles of the distribution.
+	Median, P99 uint32
+	// Skew is Max/Mean, a crude but effective power-law indicator: road
+	// networks stay below ~3, RMAT/Twitter-like graphs reach thousands.
+	Skew float64
+	// Zeros counts vertices with degree zero.
+	Zeros int
+}
+
+// Degrees computes summary statistics over a degree array.
+func Degrees(deg []uint32) DegreeStats {
+	if len(deg) == 0 {
+		return DegreeStats{}
+	}
+	sorted := make([]uint32, len(deg))
+	copy(sorted, deg)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	var sum uint64
+	zeros := 0
+	for _, d := range sorted {
+		sum += uint64(d)
+		if d == 0 {
+			zeros++
+		}
+	}
+	mean := float64(sum) / float64(len(sorted))
+	s := DegreeStats{
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		Mean:   mean,
+		Median: sorted[len(sorted)/2],
+		P99:    sorted[(len(sorted)*99)/100],
+		Zeros:  zeros,
+	}
+	if mean > 0 {
+		s.Skew = float64(s.Max) / mean
+	}
+	return s
+}
+
+// Summary is the structural profile of a graph.
+type Summary struct {
+	Vertices int
+	Edges    int
+	Directed bool
+	// Out and In are the out- and in-degree statistics (identical for
+	// undirected datasets interpreted symmetrically).
+	Out, In DegreeStats
+	// EstimatedDiameter is a lower bound on the diameter obtained by a
+	// double-sweep BFS (exact on trees, within a small factor on road-like
+	// graphs, and tight enough to separate "diameter 6" power-law graphs
+	// from "diameter 1000" lattices).
+	EstimatedDiameter int
+	// LargestComponentFraction is the fraction of vertices in the largest
+	// weakly connected component.
+	LargestComponentFraction float64
+}
+
+// Summarize computes the structural profile of a graph. It builds a
+// temporary symmetric adjacency structure, so it is intended for analysis
+// and tests, not for the measured hot paths.
+func Summarize(g *graph.Graph) Summary {
+	out := g.EdgeArray.OutDegrees()
+	in := g.EdgeArray.InDegrees()
+	s := Summary{
+		Vertices: g.NumVertices(),
+		Edges:    g.NumEdges(),
+		Directed: g.Directed,
+		Out:      Degrees(out),
+		In:       Degrees(in),
+	}
+	if g.NumVertices() == 0 {
+		return s
+	}
+	adj := symmetricAdjacency(g)
+	s.EstimatedDiameter = estimateDiameter(adj)
+	s.LargestComponentFraction = largestComponentFraction(adj)
+	return s
+}
+
+// symmetricAdjacency builds an undirected neighbour list view of the graph.
+func symmetricAdjacency(g *graph.Graph) [][]graph.VertexID {
+	adj := make([][]graph.VertexID, g.NumVertices())
+	for _, e := range g.EdgeArray.Edges {
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		if e.Src != e.Dst {
+			adj[e.Dst] = append(adj[e.Dst], e.Src)
+		}
+	}
+	return adj
+}
+
+// bfsFarthest runs a BFS from source and returns the farthest reached vertex
+// and its distance, plus the number of reached vertices.
+func bfsFarthest(adj [][]graph.VertexID, source graph.VertexID) (graph.VertexID, int, int) {
+	dist := make([]int, len(adj))
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	queue := []graph.VertexID{source}
+	far, farDist, reached := source, 0, 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				reached++
+				if dist[v] > farDist {
+					far, farDist = v, dist[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return far, farDist, reached
+}
+
+// estimateDiameter performs a double-sweep BFS from the first non-isolated
+// vertex: the distance found by the second sweep is a lower bound on the
+// diameter and is exact on trees and grids.
+func estimateDiameter(adj [][]graph.VertexID) int {
+	start := graph.VertexID(0)
+	found := false
+	for v, nb := range adj {
+		if len(nb) > 0 {
+			start = graph.VertexID(v)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return 0
+	}
+	far, _, _ := bfsFarthest(adj, start)
+	_, d, _ := bfsFarthest(adj, far)
+	return d
+}
+
+// largestComponentFraction computes the share of vertices in the largest
+// weakly connected component with iterative BFS labelling.
+func largestComponentFraction(adj [][]graph.VertexID) float64 {
+	n := len(adj)
+	if n == 0 {
+		return 0
+	}
+	seen := make([]bool, n)
+	largest := 0
+	for v := 0; v < n; v++ {
+		if seen[v] {
+			continue
+		}
+		// BFS over the component of v.
+		size := 0
+		queue := []graph.VertexID{graph.VertexID(v)}
+		seen[v] = true
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			size++
+			for _, w := range adj[u] {
+				if !seen[w] {
+					seen[w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+		if size > largest {
+			largest = size
+		}
+	}
+	return float64(largest) / float64(n)
+}
+
+// DegreeHistogram returns log2-bucketed counts of a degree distribution:
+// bucket i counts vertices with degree in [2^i, 2^(i+1)) and bucket 0 counts
+// degree-0 and degree-1 vertices together. Power-law graphs produce a long
+// straight tail; road graphs collapse into the first three buckets.
+func DegreeHistogram(deg []uint32) []int {
+	maxBucket := 0
+	counts := map[int]int{}
+	for _, d := range deg {
+		b := 0
+		if d > 1 {
+			b = int(math.Log2(float64(d)))
+		}
+		counts[b]++
+		if b > maxBucket {
+			maxBucket = b
+		}
+	}
+	out := make([]int, maxBucket+1)
+	for b, c := range counts {
+		out[b] = c
+	}
+	return out
+}
+
+// String renders the summary as a small report.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "vertices: %d, edges: %d, directed: %v\n", s.Vertices, s.Edges, s.Directed)
+	fmt.Fprintf(&b, "out-degree: min=%d max=%d mean=%.2f median=%d p99=%d skew=%.1f zeros=%d\n",
+		s.Out.Min, s.Out.Max, s.Out.Mean, s.Out.Median, s.Out.P99, s.Out.Skew, s.Out.Zeros)
+	fmt.Fprintf(&b, "in-degree:  min=%d max=%d mean=%.2f median=%d p99=%d skew=%.1f zeros=%d\n",
+		s.In.Min, s.In.Max, s.In.Mean, s.In.Median, s.In.P99, s.In.Skew, s.In.Zeros)
+	fmt.Fprintf(&b, "estimated diameter: %d\n", s.EstimatedDiameter)
+	fmt.Fprintf(&b, "largest component: %.1f%% of vertices\n", 100*s.LargestComponentFraction)
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+func TestDegreesSummary(t *testing.T) {
+	deg := []uint32{0, 1, 2, 3, 10}
+	s := Degrees(deg)
+	if s.Min != 0 || s.Max != 10 {
+		t.Fatalf("min/max = %d/%d", s.Min, s.Max)
+	}
+	if s.Mean != 3.2 {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if s.Median != 2 {
+		t.Fatalf("median = %d", s.Median)
+	}
+	if s.Zeros != 1 {
+		t.Fatalf("zeros = %d", s.Zeros)
+	}
+	if s.Skew <= 3 || s.Skew >= 3.2 {
+		t.Fatalf("skew = %v", s.Skew)
+	}
+	if empty := Degrees(nil); empty.Max != 0 || empty.Mean != 0 {
+		t.Fatal("empty distribution must be all zeros")
+	}
+}
+
+func TestSummarizeChain(t *testing.T) {
+	// 0-1-2-3: diameter 3, one component.
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}}
+	g := graph.New(edges, 4, false)
+	s := Summarize(g)
+	if s.EstimatedDiameter != 3 {
+		t.Fatalf("diameter = %d, want 3", s.EstimatedDiameter)
+	}
+	if s.LargestComponentFraction != 1 {
+		t.Fatalf("component fraction = %v, want 1", s.LargestComponentFraction)
+	}
+	if s.Out.Max != 1 || s.In.Max != 1 {
+		t.Fatalf("chain degrees wrong: %+v %+v", s.Out, s.In)
+	}
+	if !strings.Contains(s.String(), "estimated diameter: 3") {
+		t.Fatalf("String() missing diameter: %q", s.String())
+	}
+}
+
+func TestSummarizeDisconnected(t *testing.T) {
+	edges := []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 3}, {Src: 3, Dst: 4}}
+	g := graph.New(edges, 6, false) // vertex 5 isolated
+	s := Summarize(g)
+	// Largest component is {2,3,4}: 3 of 6 vertices.
+	if s.LargestComponentFraction != 0.5 {
+		t.Fatalf("component fraction = %v, want 0.5", s.LargestComponentFraction)
+	}
+}
+
+// TestProfilesSeparateDatasetFamilies is the point of the package: the
+// generated stand-ins must be distinguishable by exactly the properties the
+// paper relies on.
+func TestProfilesSeparateDatasetFamilies(t *testing.T) {
+	rmat := Summarize(gen.RMAT(gen.RMATOptions{Scale: 11, EdgeFactor: 8, Seed: 1}))
+	road := Summarize(gen.Road(gen.RoadOptions{Width: 64, Height: 64, Seed: 1}))
+
+	// Power-law skew: RMAT's max out-degree is far above its mean; the road
+	// graph's is not.
+	if rmat.Out.Skew < 20 {
+		t.Fatalf("RMAT skew %v too small for a power-law graph", rmat.Out.Skew)
+	}
+	if road.Out.Skew > 5 {
+		t.Fatalf("road skew %v too large for a lattice", road.Out.Skew)
+	}
+	// Diameter: the road graph's is on the order of its side length; the
+	// RMAT graph's is tiny.
+	if road.EstimatedDiameter < 64 {
+		t.Fatalf("road diameter %d too small", road.EstimatedDiameter)
+	}
+	if rmat.EstimatedDiameter > 20 {
+		t.Fatalf("RMAT diameter %d too large", rmat.EstimatedDiameter)
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	h := DegreeHistogram([]uint32{0, 1, 2, 3, 4, 8, 1024})
+	// Buckets: {0,1} -> 2 vertices; [2,4) -> 2; [4,8) -> 1; [8,16) -> 1; [1024,2048) -> 1.
+	if h[0] != 2 || h[1] != 2 || h[2] != 1 || h[3] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+	if h[10] != 1 {
+		t.Fatalf("histogram tail = %v", h)
+	}
+	if len(DegreeHistogram(nil)) != 1 {
+		t.Fatal("empty histogram should have a single zero bucket")
+	}
+}
+
+func TestSummarizeEmptyGraph(t *testing.T) {
+	s := Summarize(graph.New(nil, 0, true))
+	if s.Vertices != 0 || s.EstimatedDiameter != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestDegreeStatsBoundsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		deg := make([]uint32, len(raw))
+		for i, r := range raw {
+			deg[i] = uint32(r % 1000)
+		}
+		s := Degrees(deg)
+		if len(deg) == 0 {
+			return s == DegreeStats{}
+		}
+		return s.Min <= s.Median && s.Median <= s.P99 && s.P99 <= s.Max &&
+			float64(s.Min) <= s.Mean && s.Mean <= float64(s.Max)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,8 @@
+package storage
+
+import "math"
+
+// float32bits and float32frombits wrap math's conversions so the encoding
+// code reads symmetrically.
+func float32bits(f float32) uint32     { return math.Float32bits(f) }
+func float32frombits(b uint32) float32 { return math.Float32frombits(b) }

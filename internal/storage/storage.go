@@ -1,0 +1,219 @@
+// Package storage provides the loading substrate for the end-to-end view of
+// Sections 3.4–3.5: encoding and decoding edge arrays, simulated storage
+// devices with a fixed sequential bandwidth (the paper's SSD at 380 MB/s and
+// HDD at 100 MB/s), and the model for overlapping pre-processing with
+// loading.
+//
+// Real storage hardware is not available (and would not be reproducible), so
+// devices use a virtual clock: loading N bytes from a device with bandwidth
+// B takes N/B seconds of simulated time. The overlap model then combines the
+// simulated load time with the measured pre-processing compute time exactly
+// as the paper describes: dynamic building is fully overlapped with loading,
+// count sort can only overlap its first (counting) pass, and radix sort can
+// only overlap its first histogram pass.
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+)
+
+// EdgeBytes is the on-disk size of one edge in the binary format: two
+// 4-byte vertex ids and a 4-byte float weight.
+const EdgeBytes = 12
+
+// Device models a storage medium with a fixed sequential read bandwidth.
+type Device struct {
+	// Name identifies the device in reports ("memory", "ssd", "hdd").
+	Name string
+	// BandwidthMBps is the sequential read bandwidth in MB/s (decimal
+	// megabytes, as in the paper). Zero means the data is already in memory
+	// and loading is free.
+	BandwidthMBps float64
+}
+
+// The devices used in the paper's evaluation.
+var (
+	// Memory means the edge array is already resident; loading costs
+	// nothing (the assumption of Sections 3.2–3.3).
+	Memory = Device{Name: "memory", BandwidthMBps: 0}
+	// SSD is the paper's SATA SSD with 380 MB/s maximum bandwidth.
+	SSD = Device{Name: "ssd", BandwidthMBps: 380}
+	// HDD is the paper's regular hard drive with 100 MB/s bandwidth.
+	HDD = Device{Name: "hdd", BandwidthMBps: 100}
+)
+
+// LoadTime returns the simulated time to sequentially read the given number
+// of bytes from the device.
+func (d Device) LoadTime(bytes int64) time.Duration {
+	if d.BandwidthMBps <= 0 || bytes <= 0 {
+		return 0
+	}
+	seconds := float64(bytes) / (d.BandwidthMBps * 1e6)
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// EdgeLoadTime returns the simulated time to load numEdges edges in the
+// binary format from the device.
+func (d Device) EdgeLoadTime(numEdges int) time.Duration {
+	return d.LoadTime(int64(numEdges) * EdgeBytes)
+}
+
+// OverlapFraction returns the fraction of a pre-processing method's compute
+// that can proceed concurrently with loading the input from storage
+// (Section 3.4):
+//
+//   - Dynamic building consumes edges one at a time as they arrive, so all
+//     of its work overlaps with loading.
+//   - Count sort can overlap only its first pass (degree counting); the
+//     placement pass needs the complete input. With two passes of similar
+//     cost, that is half the work.
+//   - Radix sort needs the complete input resident before the digit passes
+//     can scatter, so only the first histogram pass (1/(2*passes) of the
+//     work) overlaps.
+func OverlapFraction(method prep.Method, numVertices int) float64 {
+	switch method {
+	case prep.Dynamic:
+		return 1.0
+	case prep.CountSort:
+		return 0.5
+	case prep.RadixSort:
+		passes := radixPassesFor(numVertices)
+		return 1.0 / (2.0 * float64(passes))
+	default:
+		return 0
+	}
+}
+
+// radixPassesFor mirrors the pass count of the radix builder (8-bit digits).
+func radixPassesFor(numVertices int) int {
+	passes := 0
+	for n := numVertices - 1; n > 0; n >>= 8 {
+		passes++
+	}
+	if passes == 0 {
+		passes = 1
+	}
+	return passes
+}
+
+// EndToEndPrep combines a simulated load time with a measured
+// pre-processing compute time under the overlap model: the overlappable
+// part of the pre-processing hides behind the load, and the rest runs after
+// the load finishes.
+//
+//	total = max(load, overlap*prepCompute) + (1-overlap)*prepCompute
+func EndToEndPrep(load, prepCompute time.Duration, method prep.Method, numVertices int) time.Duration {
+	f := OverlapFraction(method, numVertices)
+	overlapped := time.Duration(float64(prepCompute) * f)
+	rest := prepCompute - overlapped
+	if load > overlapped {
+		return load + rest
+	}
+	return overlapped + rest
+}
+
+// WriteBinary writes edges in the fixed-size little-endian binary format
+// (src uint32, dst uint32, weight float32 bits).
+func WriteBinary(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var buf [EdgeBytes]byte
+	for _, e := range edges {
+		binary.LittleEndian.PutUint32(buf[0:4], e.Src)
+		binary.LittleEndian.PutUint32(buf[4:8], e.Dst)
+		binary.LittleEndian.PutUint32(buf[8:12], weightBits(e.W))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("storage: write edge: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary reads edges in the binary format until EOF.
+func ReadBinary(r io.Reader) ([]graph.Edge, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var edges []graph.Edge
+	var buf [EdgeBytes]byte
+	for {
+		_, err := io.ReadFull(br, buf[:])
+		if err == io.EOF {
+			return edges, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("storage: truncated edge record after %d edges", len(edges))
+		}
+		if err != nil {
+			return nil, fmt.Errorf("storage: read edge: %w", err)
+		}
+		edges = append(edges, graph.Edge{
+			Src: binary.LittleEndian.Uint32(buf[0:4]),
+			Dst: binary.LittleEndian.Uint32(buf[4:8]),
+			W:   weightFromBits(binary.LittleEndian.Uint32(buf[8:12])),
+		})
+	}
+}
+
+// WriteText writes edges as whitespace-separated "src dst weight" lines,
+// the interchange format accepted by most graph frameworks.
+func WriteText(w io.Writer, edges []graph.Edge) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.Src, e.Dst, e.W); err != nil {
+			return fmt.Errorf("storage: write edge: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText reads whitespace-separated edge lines. Lines may contain two
+// fields (unweighted; weight defaults to 1) or three fields. Empty lines and
+// lines starting with '#' or '%' are skipped (comment conventions of SNAP
+// and Matrix Market edge lists).
+func ReadText(r io.Reader) ([]graph.Edge, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []graph.Edge
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("storage: line %d: expected at least 2 fields, got %d", lineNo, len(fields))
+		}
+		src, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("storage: line %d: bad source vertex: %w", lineNo, err)
+		}
+		dst, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("storage: line %d: bad destination vertex: %w", lineNo, err)
+		}
+		w := 1.0
+		if len(fields) >= 3 {
+			w, err = strconv.ParseFloat(fields[2], 32)
+			if err != nil {
+				return nil, fmt.Errorf("storage: line %d: bad weight: %w", lineNo, err)
+			}
+		}
+		edges = append(edges, graph.Edge{Src: uint32(src), Dst: uint32(dst), W: graph.Weight(w)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("storage: scan: %w", err)
+	}
+	return edges, nil
+}
+
+func weightBits(w graph.Weight) uint32    { return float32bits(float32(w)) }
+func weightFromBits(b uint32) graph.Weight { return graph.Weight(float32frombits(b)) }
