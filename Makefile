@@ -1,0 +1,30 @@
+# Developer entry points. CI runs the same commands (.github/workflows/ci.yml).
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-json
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Engine benchmarks with allocation accounting: BFS and PageRank on
+# RMAT-scale-16 (the perf-trajectory acceptance configuration).
+bench:
+	$(GO) test -run '^$$' -bench 'BFS|PageRank' -benchmem ./internal/core/
+
+# Archive the machine-readable perf trajectory. Bump the number when a PR
+# records a new baseline (BENCH_<pr>.json).
+BENCH_JSON ?= BENCH_1.json
+bench-json:
+	$(GO) run ./cmd/benchrunner -perf-json $(BENCH_JSON)

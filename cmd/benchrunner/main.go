@@ -9,6 +9,7 @@
 //	benchrunner -experiment fig5,table2        # run a subset
 //	benchrunner -list                          # list experiment ids
 //	benchrunner -experiment fig9 -rmat-scale 22
+//	benchrunner -perf-json BENCH_1.json        # archive the perf trajectory
 package main
 
 import (
@@ -31,6 +32,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "worker count (0 = all CPUs)")
 		seed        = flag.Int64("seed", bench.Default.Seed, "dataset generation seed")
 		quick       = flag.Bool("quick", false, "use the small quick scale (for smoke runs)")
+		perfJSON    = flag.String("perf-json", "", "run the perf trajectory suite (RMAT-scale-16 engine microbenchmarks) and write the JSON report to this path instead of running experiments")
 	)
 	flag.Parse()
 
@@ -65,6 +67,31 @@ func main() {
 		if !flagPassed("pagerank-iterations") {
 			scale.PagerankIterations = bench.Quick.PagerankIterations
 		}
+	}
+
+	if *perfJSON != "" {
+		// The perf trajectory defaults to RMAT-scale-16 (the acceptance
+		// benchmark of the zero-allocation engine work) unless overridden.
+		perfScale := scale
+		if !flagPassed("rmat-scale") {
+			perfScale.RMATScale = 16
+		}
+		f, err := os.Create(*perfJSON)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WritePerfJSON(perfScale, f); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "benchrunner: perf suite failed: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("perf trajectory written to %s\n", *perfJSON)
+		return
 	}
 
 	var ids []string

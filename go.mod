@@ -1,0 +1,3 @@
+module github.com/epfl-repro/everythinggraph
+
+go 1.24

@@ -2,6 +2,7 @@ package algorithms
 
 import (
 	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
 )
 
 // PageRank ranks vertices by their link structure (Page et al.). It is the
@@ -23,7 +24,18 @@ type PageRank struct {
 	acc     []uint64  // accumulated contributions, float64 bits (atomic mode)
 	contrib []float64 // rank[u]/outdeg[u] snapshot taken before each iteration
 	outDeg  []uint32
+	base    float64 // (1-Damping)/n, read by afterBody
+	workers int     // hook parallelism (0 = all CPUs), set by the engine
+
+	// Loop bodies bound once in Init so the per-iteration hooks allocate
+	// nothing in steady state.
+	beforeBody func(lo, hi int)
+	afterBody  func(lo, hi int)
 }
+
+// hookChunk is the chunk size of the Before/AfterIteration vertex sweeps:
+// large enough that the per-chunk overhead vanishes on the streaming loops.
+const hookChunk = 8192
 
 // NewPageRank creates a PageRank with the paper's defaults (10 iterations,
 // damping 0.85).
@@ -31,6 +43,11 @@ func NewPageRank() *PageRank { return &PageRank{Iterations: 10, Damping: 0.85} }
 
 // Name implements Algorithm.
 func (pr *PageRank) Name() string { return "pagerank" }
+
+// SetWorkers implements the engine's WorkerBound extension: the
+// per-iteration sweeps honour the run's configured worker count so
+// worker-scaling experiments measure what they claim to.
+func (pr *PageRank) SetWorkers(p int) { pr.workers = p }
 
 // Dense implements Algorithm: every vertex is active every iteration.
 func (pr *PageRank) Dense() bool { return true }
@@ -61,6 +78,21 @@ func (pr *PageRank) Init(g *graph.Graph) {
 	for v := range pr.Rank {
 		pr.Rank[v] = initial
 	}
+	pr.beforeBody = func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			if d := pr.outDeg[v]; d > 0 {
+				pr.contrib[v] = pr.Rank[v] / float64(d)
+			} else {
+				pr.contrib[v] = 0
+			}
+			pr.acc[v] = 0
+		}
+	}
+	pr.afterBody = func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			pr.Rank[v] = pr.base + pr.Damping*loadFloat64(&pr.acc[v])
+		}
+	}
 }
 
 // InitialFrontier implements Algorithm.
@@ -71,25 +103,17 @@ func (pr *PageRank) InitialFrontier(g *graph.Graph) *graph.Frontier {
 // BeforeIteration implements Algorithm: snapshot each vertex's contribution
 // (rank divided by out-degree) and clear the accumulators. Taking the
 // snapshot up front makes push and pull produce identical results regardless
-// of processing order.
+// of processing order. The sweep is vertex-parallel; every vertex is written
+// independently, so the parallel result is identical to the serial one.
 func (pr *PageRank) BeforeIteration(int) {
-	for v := 0; v < pr.n; v++ {
-		if d := pr.outDeg[v]; d > 0 {
-			pr.contrib[v] = pr.Rank[v] / float64(d)
-		} else {
-			pr.contrib[v] = 0
-		}
-		pr.acc[v] = 0
-	}
+	sched.ParallelForChunked(0, pr.n, hookChunk, pr.workers, pr.beforeBody)
 }
 
 // AfterIteration implements Algorithm: apply the damping update and stop
-// after the fixed iteration count.
+// after the fixed iteration count. Vertex-parallel like BeforeIteration.
 func (pr *PageRank) AfterIteration(iteration int) bool {
-	base := (1 - pr.Damping) / float64(pr.n)
-	for v := 0; v < pr.n; v++ {
-		pr.Rank[v] = base + pr.Damping*loadFloat64(&pr.acc[v])
-	}
+	pr.base = (1 - pr.Damping) / float64(pr.n)
+	sched.ParallelForChunked(0, pr.n, hookChunk, pr.workers, pr.afterBody)
 	return iteration+1 >= pr.Iterations
 }
 

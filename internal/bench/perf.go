@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/core"
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+)
+
+// This file implements the machine-readable perf trajectory: a fixed suite
+// of engine microbenchmarks whose results are archived as BENCH_<pr>.json
+// at the repository root, so every subsequent change is held to the
+// recorded baseline. The suite deliberately measures steady-state engine
+// execution (generation and pre-processing excluded), unlike the
+// figure-reproduction experiments, which measure end to end.
+
+// PerfCase is one benchmark of the perf trajectory.
+type PerfCase struct {
+	// Name identifies the case, stable across PRs.
+	Name string `json:"name"`
+	// NsPerOp is wall time per operation (one full run, or one iteration
+	// for the *_iter cases).
+	NsPerOp int64 `json:"ns_per_op"`
+	// AllocsPerOp and BytesPerOp come from testing.Benchmark's allocation
+	// accounting; the *_iter cases must stay at ~0 allocs (the
+	// zero-allocation steady-state contract).
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+	// Iterations is the number of benchmark operations measured.
+	Iterations int `json:"iterations"`
+}
+
+// PerfReport is the archived perf trajectory document.
+type PerfReport struct {
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	RMATScale  int        `json:"rmat_scale"`
+	EdgeFactor int        `json:"rmat_edge_factor"`
+	Timestamp  string     `json:"timestamp"`
+	Cases      []PerfCase `json:"cases"`
+}
+
+// perfGraph builds the RMAT graph shared by the perf suite.
+func perfGraph(scale, edgeFactor int, seed int64, workers int) (*graph.Graph, error) {
+	g := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: edgeFactor, Seed: seed, Workers: workers})
+	err := prep.BuildAdjacency(g, prep.InOut, prep.Options{Method: prep.RadixSort, Workers: workers})
+	return g, err
+}
+
+// measure runs fn under testing.Benchmark and converts the result. A
+// failed benchmark (b.Fatal inside fn) yields a zero BenchmarkResult from
+// testing.Benchmark; that must surface as an error, not be archived as an
+// all-zero baseline.
+func measure(name string, fn func(b *testing.B)) (PerfCase, error) {
+	r := testing.Benchmark(fn)
+	if r.N == 0 {
+		return PerfCase{}, fmt.Errorf("bench: perf case %s failed (benchmark aborted)", name)
+	}
+	return PerfCase{
+		Name:        name,
+		NsPerOp:     r.NsPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}, nil
+}
+
+// RunPerf executes the perf trajectory suite on an RMAT graph of the given
+// scale and returns the report. workers=0 uses all CPUs.
+func RunPerf(scale Scale) (*PerfReport, error) {
+	rmatScale := scale.RMATScale
+	if rmatScale <= 0 {
+		rmatScale = 16
+	}
+	edgeFactor := scale.RMATEdgeFactor
+	if edgeFactor <= 0 {
+		edgeFactor = 16
+	}
+	g, err := perfGraph(rmatScale, edgeFactor, scale.Seed, scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	workers := scale.Workers
+
+	pushAtomics := core.Config{Layout: graph.LayoutAdjacency, Flow: core.Push, Sync: core.SyncAtomics, Workers: workers}
+	pull := core.Config{Layout: graph.LayoutAdjacency, Flow: core.Pull, Sync: core.SyncPartitionFree, Workers: workers}
+	pushPull := core.Config{Layout: graph.LayoutAdjacency, Flow: core.PushPull, Sync: core.SyncAtomics, Workers: workers}
+
+	report := &PerfReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		RMATScale:  rmatScale,
+		EdgeFactor: edgeFactor,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	cases := []struct {
+		name string
+		fn   func(b *testing.B)
+	}{
+		{"pagerank_rmat_push_atomics", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(g, algorithms.NewPageRank(), pushAtomics); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"pagerank_rmat_push_atomics_iter", func(b *testing.B) {
+			pr := algorithms.NewPageRank()
+			pr.Iterations = b.N
+			b.ReportAllocs()
+			if _, err := core.Run(g, pr, pushAtomics); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"pagerank_rmat_pull_iter", func(b *testing.B) {
+			pr := algorithms.NewPageRank()
+			pr.Iterations = b.N
+			b.ReportAllocs()
+			if _, err := core.Run(g, pr, pull); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"bfs_rmat_push_atomics", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(g, algorithms.NewBFS(0), pushAtomics); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"bfs_rmat_pushpull", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(g, algorithms.NewBFS(0), pushPull); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+	for _, c := range cases {
+		pc, err := measure(c.name, c.fn)
+		if err != nil {
+			return nil, err
+		}
+		report.Cases = append(report.Cases, pc)
+	}
+	return report, nil
+}
+
+// WritePerfJSON runs the perf suite and writes the report as indented JSON.
+func WritePerfJSON(scale Scale, w io.Writer) error {
+	report, err := RunPerf(scale)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

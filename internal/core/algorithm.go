@@ -69,6 +69,16 @@ type Algorithm interface {
 	AfterIteration(iteration int) (converged bool)
 }
 
+// WorkerBound is implemented by algorithms whose per-iteration hooks run
+// their own parallel sweeps (e.g. PageRank's contribution snapshot). The
+// engine calls SetWorkers with the run's configured worker count before
+// Init, so hook parallelism matches Config.Workers — without this, a
+// Workers=1 run would still sweep on all CPUs and corrupt worker-scaling
+// measurements.
+type WorkerBound interface {
+	SetWorkers(p int)
+}
+
 // lockStripes is the number of striped destination locks used by SyncLocks.
 // Striping bounds memory while keeping the collision probability between
 // concurrently updated destinations negligible.

@@ -12,6 +12,13 @@ import (
 // configuration needs (see internal/prep); Run measures only algorithm
 // execution time, never pre-processing, matching the paper's methodology of
 // reporting the two phases separately.
+//
+// Steady-state execution (every iteration after the first) performs no heap
+// allocations and spawns no goroutines: parallel loops run on persistent
+// pool workers (see internal/sched), the next-frontier builders and the
+// frontiers they emit are double-buffered and recycled, and every loop body
+// is bound once at setup and reused. Allocation happens only while the
+// buffers warm up during the first iterations.
 func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	if err := cfg.Validate(g); err != nil {
 		return nil, err
@@ -25,17 +32,11 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 		alpha = DefaultPushPullAlpha
 	}
 
-	r := &runner{
-		g:       g,
-		alg:     alg,
-		cfg:     cfg,
-		workers: workers,
-		track:   !alg.Dense(),
-	}
-	if cfg.Sync == SyncLocks {
-		r.locks = newVertexLocks()
-	}
+	r := newRunner(g, alg, cfg, workers)
 
+	if wb, ok := alg.(WorkerBound); ok {
+		wb.SetWorkers(workers)
+	}
 	alg.Init(g)
 	frontier := alg.InitialFrontier(g)
 	res := &Result{Algorithm: alg.Name()}
@@ -114,7 +115,22 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	return res, nil
 }
 
+// paddedSum is a per-worker accumulator spaced a cache line apart from its
+// neighbours so concurrent workers do not false-share.
+type paddedSum struct {
+	v int64
+	_ [56]byte
+}
+
 // runner carries the per-run execution state shared by the layout paths.
+//
+// Everything a steady-state iteration needs is owned by the runner and
+// recycled: two (builder, frontier) pairs so one frontier can be consumed
+// while the next is built into the other pair's buffers, the edge-balanced
+// chunk table for push iterations, padded per-worker degree accumulators,
+// and every parallel loop body, bound once here so no closure is created
+// inside the iteration loop. Per-iteration inputs (active list, frontier
+// bitmap, current builder) are passed to the bodies through runner fields.
 type runner struct {
 	g       *graph.Graph
 	alg     Algorithm
@@ -122,6 +138,172 @@ type runner struct {
 	workers int
 	locks   *vertexLocks
 	track   bool // build the next frontier (false for dense algorithms)
+
+	out *graph.Adjacency // push adjacency (nil if not built)
+	in  *graph.Adjacency // pull adjacency (nil if not built)
+
+	// Double-buffered next-frontier state; see nextBuilder/collect.
+	builders [2]*graph.FrontierBuilder
+	fronts   [2]graph.Frontier
+	flip     int
+
+	// Per-iteration inputs read by the loop bodies.
+	active  []graph.VertexID // current active list (push, activeOutEdges)
+	bits    []uint64         // current frontier bitmap (pull, edge, grid)
+	builder *graph.FrontierBuilder
+
+	chunkStarts []int       // edge-balanced chunk boundaries into active
+	degSums     []paddedSum // per-worker out-degree accumulators
+
+	// Loop bodies and per-edge span functions, bound once at setup.
+	pushSpan       func(worker, lo, hi int) // selected push variant over active indices
+	pullSpan       func(worker, lo, hi int) // selected pull variant over vertex ids
+	edgeSpan       func(worker, lo, hi int) // selected edge-centric variant over edge indices
+	pushChunksBody func(worker, lo, hi int) // walks chunkStarts, calls pushSpan
+	degBody        func(worker, lo, hi int) // sums active out-degrees into degSums
+	gridOwnedBody  func(worker, lo, hi int) // column-owned grid traversal
+	gridCellsBody  func(worker, lo, hi int) // cell-parallel grid traversal
+
+	// Grid cell functions: all variants bound once, cellFn selects per
+	// iteration (push-pull can change direction between iterations).
+	cellFn         func(worker int, cell []graph.Edge)
+	cellPushOwned  func(worker int, cell []graph.Edge)
+	cellPushAtomic func(worker int, cell []graph.Edge)
+	cellPushLocks  func(worker int, cell []graph.Edge)
+	cellPushPlain  func(worker int, cell []graph.Edge)
+	cellPullOwned  func(worker int, cell []graph.Edge)
+	cellPullAtomic func(worker int, cell []graph.Edge)
+	cellPullLocks  func(worker int, cell []graph.Edge)
+	cellPullPlain  func(worker int, cell []graph.Edge)
+}
+
+// newRunner builds the per-run state: it selects the specialized per-edge
+// loop for the configured {sync} x {tracked} combination (hoisting the
+// dispatch that used to run per edge) and binds every loop body once.
+func newRunner(g *graph.Graph, alg Algorithm, cfg Config, workers int) *runner {
+	r := &runner{
+		g:       g,
+		alg:     alg,
+		cfg:     cfg,
+		workers: workers,
+		track:   !alg.Dense(),
+		out:     g.Out,
+	}
+	if cfg.Sync == SyncLocks {
+		r.locks = newVertexLocks()
+	}
+	if g.In != nil {
+		r.in = g.In
+	} else {
+		// Undirected graphs pull over the (doubled) outgoing lists, where
+		// in- and out-neighbours coincide (Section 6.1.3).
+		r.in = g.Out
+	}
+
+	// Specialized per-edge loops: the sync-mode switch and the frontier
+	// tracking branch are resolved here, once per run, instead of per edge.
+	switch cfg.Sync {
+	case SyncAtomics:
+		if r.track {
+			r.pushSpan = r.pushSpanAtomicTracked
+			r.edgeSpan = r.edgeSpanAtomicTracked
+		} else {
+			r.pushSpan = r.pushSpanAtomicDense
+			r.edgeSpan = r.edgeSpanAtomicDense
+		}
+	case SyncLocks:
+		if r.track {
+			r.pushSpan = r.pushSpanLocksTracked
+			r.edgeSpan = r.edgeSpanLocksTracked
+		} else {
+			r.pushSpan = r.pushSpanLocksDense
+			r.edgeSpan = r.edgeSpanLocksDense
+		}
+	default: // SyncPartitionFree: Validate only admits it where layout
+		// ownership (or pull-mode vertex ownership) makes plain updates safe.
+		if r.track {
+			r.pushSpan = r.pushSpanPlainTracked
+			r.edgeSpan = r.edgeSpanPlainTracked
+		} else {
+			r.pushSpan = r.pushSpanPlainDense
+			r.edgeSpan = r.edgeSpanPlainDense
+		}
+	}
+	if r.track {
+		r.pullSpan = r.pullSpanTracked
+	} else {
+		r.pullSpan = r.pullSpanDense
+	}
+
+	r.pushChunksBody = func(worker, lo, hi int) {
+		starts := r.chunkStarts
+		for c := lo; c < hi; c++ {
+			r.pushSpan(worker, starts[c], starts[c+1])
+		}
+	}
+	r.degBody = func(worker, lo, hi int) {
+		out, active := r.out, r.active
+		var acc int64
+		for i := lo; i < hi; i++ {
+			acc += int64(out.Degree(active[i]))
+		}
+		r.degSums[worker].v += acc
+	}
+
+	if g.Grid != nil {
+		r.cellPushOwned = r.runCellPushOwned
+		r.cellPushAtomic = r.runCellPushAtomic
+		r.cellPushLocks = r.runCellPushLocks
+		r.cellPushPlain = r.runCellPushPlain
+		r.cellPullOwned = r.runCellPullOwned
+		r.cellPullAtomic = r.runCellPullAtomic
+		r.cellPullLocks = r.runCellPullLocks
+		r.cellPullPlain = r.runCellPullPlain
+		grid := g.Grid
+		r.gridOwnedBody = func(worker, lo, hi int) {
+			for col := lo; col < hi; col++ {
+				for row := 0; row < grid.P; row++ {
+					r.cellFn(worker, grid.Cell(row, col))
+				}
+			}
+		}
+		r.gridCellsBody = func(worker, lo, hi int) {
+			for c := lo; c < hi; c++ {
+				r.cellFn(worker, grid.Cell(c/grid.P, c%grid.P))
+			}
+		}
+	}
+	return r
+}
+
+// nextBuilder returns the iteration's frontier builder, reset and ready, or
+// nil for dense algorithms that skip frontier tracking. Builders alternate
+// between two instances so the frontier emitted by the previous iteration
+// (which shares its builder's bitmap) stays valid while this iteration's
+// frontier is assembled.
+func (r *runner) nextBuilder() *graph.FrontierBuilder {
+	if !r.track {
+		return nil
+	}
+	b := r.builders[r.flip]
+	if b == nil {
+		b = graph.NewFrontierBuilder(r.g.NumVertices(), r.workers)
+		r.builders[r.flip] = b
+	} else {
+		b.Reset()
+	}
+	r.builder = b
+	return b
+}
+
+// collect turns the current builder's contents into the next frontier,
+// reusing the buffers of the Frontier paired with that builder, and flips
+// the double buffer.
+func (r *runner) collect(b *graph.FrontierBuilder) *graph.Frontier {
+	f := b.CollectInto(&r.fronts[r.flip])
+	r.flip = 1 - r.flip
+	r.builder = nil
+	return f
 }
 
 // frontierSnapshot copies the active vertex list for the NUMA analysis.
@@ -138,41 +320,20 @@ func (r *runner) frontierSnapshot(f *graph.Frontier) []graph.VertexID {
 }
 
 // activeOutEdges sums the out-degrees of the frontier's vertices (the
-// quantity compared against |E|/alpha by the direction-optimizing switch).
+// quantity compared against |E|/alpha by the direction-optimizing switch)
+// into preallocated, cache-line-padded per-worker accumulators.
 func (r *runner) activeOutEdges(f *graph.Frontier) int64 {
-	out := r.g.Out
-	active := f.Sparse()
-	return sched.ParallelReduce(0, len(active), 2048, r.workers, int64(0),
-		func(lo, hi int, acc int64) int64 {
-			for i := lo; i < hi; i++ {
-				acc += int64(out.Degree(active[i]))
-			}
-			return acc
-		},
-		func(a, b int64) int64 { return a + b },
-	)
-}
-
-// pushEdge applies one push update under the configured synchronization
-// discipline. ownsDst tells the engine that the calling worker has exclusive
-// access to the destination (grid column ownership), in which case no
-// synchronization is needed regardless of the configured mode.
-func (r *runner) pushEdge(u, v graph.VertexID, w graph.Weight, ownsDst bool) bool {
-	if ownsDst {
-		return r.alg.PushEdge(u, v, w)
+	if r.degSums == nil {
+		r.degSums = make([]paddedSum, r.workers)
 	}
-	switch r.cfg.Sync {
-	case SyncAtomics:
-		return r.alg.PushEdgeAtomic(u, v, w)
-	case SyncLocks:
-		r.locks.lock(v)
-		activated := r.alg.PushEdge(u, v, w)
-		r.locks.unlock(v)
-		return activated
-	default:
-		// SyncPartitionFree without ownership is rejected by Validate for
-		// the layouts where it would race; reaching here means the layout
-		// guarantees ownership.
-		return r.alg.PushEdge(u, v, w)
+	for i := range r.degSums {
+		r.degSums[i].v = 0
 	}
+	r.active = f.Sparse()
+	sched.ParallelForWorker(0, len(r.active), 2048, r.workers, r.degBody)
+	var total int64
+	for i := range r.degSums {
+		total += r.degSums[i].v
+	}
+	return total
 }

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+)
+
+// benchGraph lazily builds the RMAT-scale-16 benchmark graph (65536
+// vertices, ~1M edges) with out+in adjacency, shared by every benchmark in
+// this file. Generation and pre-processing are excluded from timing.
+var (
+	benchGraphOnce sync.Once
+	benchGraphVal  *graph.Graph
+)
+
+func rmat16(b *testing.B) *graph.Graph {
+	b.Helper()
+	benchGraphOnce.Do(func() {
+		g := gen.RMAT(gen.RMATOptions{Scale: 16, EdgeFactor: 16, Seed: 42})
+		if err := prep.BuildAdjacency(g, prep.InOut, prep.Options{Method: prep.RadixSort}); err != nil {
+			panic(err)
+		}
+		benchGraphVal = g
+	})
+	return benchGraphVal
+}
+
+// BenchmarkPageRankRMAT16 measures a full 10-iteration PageRank run on
+// adjacency lists in push mode with atomic destination updates — the
+// configuration named by the zero-allocation acceptance criterion.
+func BenchmarkPageRankRMAT16(b *testing.B) {
+	g := rmat16(b)
+	cfg := Config{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, algorithms.NewPageRank(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageRankIterRMAT16 measures the steady-state cost of ONE PageRank
+// iteration: the run executes b.N iterations, so ns/op and allocs/op are
+// per-iteration figures with setup amortized away. allocs/op must stay ~0.
+func BenchmarkPageRankIterRMAT16(b *testing.B) {
+	g := rmat16(b)
+	cfg := Config{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics}
+	pr := algorithms.NewPageRank()
+	pr.Iterations = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(g, pr, cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPageRankPullIterRMAT16 is the pull-mode (lock-free) counterpart
+// of BenchmarkPageRankIterRMAT16.
+func BenchmarkPageRankPullIterRMAT16(b *testing.B) {
+	g := rmat16(b)
+	cfg := Config{Layout: graph.LayoutAdjacency, Flow: Pull, Sync: SyncPartitionFree}
+	pr := algorithms.NewPageRank()
+	pr.Iterations = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(g, pr, cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkBFSRMAT16 measures a full BFS traversal (adjacency, push,
+// atomics) per op, exercising the tracked-frontier path end to end.
+func BenchmarkBFSRMAT16(b *testing.B) {
+	g := rmat16(b)
+	cfg := Config{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, algorithms.NewBFS(0), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBFSPushPullRMAT16 measures direction-optimizing BFS, which
+// exercises the densify/sparsify transitions of the reusable frontiers.
+func BenchmarkBFSPushPullRMAT16(b *testing.B) {
+	g := rmat16(b)
+	cfg := Config{Layout: graph.LayoutAdjacency, Flow: PushPull, Sync: SyncAtomics}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, algorithms.NewBFS(0), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

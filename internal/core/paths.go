@@ -1,37 +1,176 @@
 package core
 
 import (
+	"sort"
+
 	"github.com/epfl-repro/everythinggraph/internal/graph"
 	"github.com/epfl-repro/everythinggraph/internal/sched"
 )
+
+// This file contains the per-layout iteration paths and their specialized
+// per-edge loops. The engine's hot loops iterate over active edges; pulling
+// the sync-mode switch, the frontier-tracking branch and the frontier
+// membership test out of those loops (they are resolved once per run in
+// newRunner, or hoisted to a bitmap load) leaves one interface call per
+// edge — the algorithm's edge function — and nothing else.
+
+// pushEdgeChunk is the target number of out-edges per push chunk. Push
+// iterations are partitioned by ACTIVE OUT-EDGES, not active vertices, so a
+// power-law hub with a million out-neighbours becomes its own chunk instead
+// of serializing one worker on a vertex-count chunk that happens to contain
+// it (RMAT/Twitter skew). A single vertex is the splitting limit, as in any
+// vertex-centric framework.
+const pushEdgeChunk = 2048
+
+// pullVertexChunk is the chunk size for pull iterations. It must stay a
+// multiple of 64 so chunk boundaries never split a bitmap word: pull mode
+// marks next-frontier vertices with the unsynchronized AddUnsynced, which
+// is only race-free while no two workers touch the same word.
+const pullVertexChunk = 256
+
+// buildPushChunks computes edge-balanced chunk boundaries into the active
+// list: starts[c]..starts[c+1] spans at least pushEdgeChunk out-edges
+// (except the last chunk). The boundary table is owned by the runner and
+// reused across iterations. When identityOrder reports that active[i] == i
+// (a full canonically-dense frontier, the every-iteration case for dense
+// algorithms) the boundaries are found by binary search on the CSR index
+// in O(chunks·log V) instead of walking every degree.
+func (r *runner) buildPushChunks(active []graph.VertexID, out *graph.Adjacency, identityOrder bool) []int {
+	starts := r.chunkStarts[:0]
+	starts = append(starts, 0)
+	n := len(active)
+	if n == 0 {
+		r.chunkStarts = starts
+		return starts
+	}
+	idx := out.Index
+	if identityOrder {
+		// active[i] == i, so CSR offsets map directly to active indices.
+		v := 0
+		for v < n {
+			target := idx[v] + pushEdgeChunk
+			if idx[n] <= target {
+				starts = append(starts, n)
+				break
+			}
+			w := sort.Search(n+1, func(w int) bool { return w > v && idx[w] >= target })
+			starts = append(starts, w)
+			v = w
+		}
+	} else {
+		var acc uint64
+		for i, u := range active {
+			acc += idx[u+1] - idx[u]
+			if acc >= pushEdgeChunk {
+				starts = append(starts, i+1)
+				acc = 0
+			}
+		}
+		if starts[len(starts)-1] != n {
+			starts = append(starts, n)
+		}
+	}
+	r.chunkStarts = starts
+	return starts
+}
 
 // vertexPush runs one vertex-centric push iteration over the out-adjacency:
 // every active vertex streams its outgoing neighbours and updates them under
 // the configured synchronization discipline (Section 6: push works on the
 // active subset only, but destination updates need locks or atomics).
 func (r *runner) vertexPush(frontier *graph.Frontier) *graph.Frontier {
-	out := r.outAdjacency()
-	active := frontier.Sparse()
-	var builder *graph.FrontierBuilder
-	if r.track {
-		builder = graph.NewFrontierBuilder(r.g.NumVertices(), r.workers)
-	}
-	sched.ParallelForWorker(0, len(active), 64, r.workers, func(worker, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			u := active[i]
-			nbrs := out.Neighbors(u)
-			ws := out.NeighborWeights(u)
-			for j, v := range nbrs {
-				if r.pushEdge(u, v, ws[j], false) && r.track {
-					builder.Add(worker, v)
-				}
-			}
-		}
-	})
-	if !r.track {
+	r.active = frontier.Sparse()
+	b := r.nextBuilder()
+	// A canonically dense frontier materializes its sparse list in
+	// ascending order, so covering every vertex means active[i] == i.
+	// Builder-emitted frontiers (sparse canonical) are unsorted per-worker
+	// concatenations: even when every vertex is active they must take the
+	// degree-walk path.
+	identity := frontier.IsDense() && len(r.active) == r.out.NumVertices
+	starts := r.buildPushChunks(r.active, r.out, identity)
+	sched.ParallelForWorker(0, len(starts)-1, 1, r.workers, r.pushChunksBody)
+	if b == nil {
 		return nil
 	}
-	return builder.Collect()
+	return r.collect(b)
+}
+
+// Push span variants: each processes active indices [lo, hi) of r.active.
+// One loop body exists per {atomics, locks, plain} x {tracked, dense}
+// combination so the per-edge loop carries no dispatch beyond the
+// algorithm's edge function itself.
+
+func (r *runner) pushSpanAtomicTracked(worker, lo, hi int) {
+	alg, b, active := r.alg, r.builder, r.active
+	idx, tgt, wts := r.out.Index, r.out.Targets, r.out.Weights
+	for _, u := range active[lo:hi] {
+		for j, end := idx[u], idx[u+1]; j < end; j++ {
+			if alg.PushEdgeAtomic(u, tgt[j], wts[j]) {
+				b.Add(worker, tgt[j])
+			}
+		}
+	}
+}
+
+func (r *runner) pushSpanAtomicDense(_, lo, hi int) {
+	alg, active := r.alg, r.active
+	idx, tgt, wts := r.out.Index, r.out.Targets, r.out.Weights
+	for _, u := range active[lo:hi] {
+		for j, end := idx[u], idx[u+1]; j < end; j++ {
+			alg.PushEdgeAtomic(u, tgt[j], wts[j])
+		}
+	}
+}
+
+func (r *runner) pushSpanLocksTracked(worker, lo, hi int) {
+	alg, b, active, locks := r.alg, r.builder, r.active, r.locks
+	idx, tgt, wts := r.out.Index, r.out.Targets, r.out.Weights
+	for _, u := range active[lo:hi] {
+		for j, end := idx[u], idx[u+1]; j < end; j++ {
+			v := tgt[j]
+			locks.lock(v)
+			activated := alg.PushEdge(u, v, wts[j])
+			locks.unlock(v)
+			if activated {
+				b.Add(worker, v)
+			}
+		}
+	}
+}
+
+func (r *runner) pushSpanLocksDense(_, lo, hi int) {
+	alg, active, locks := r.alg, r.active, r.locks
+	idx, tgt, wts := r.out.Index, r.out.Targets, r.out.Weights
+	for _, u := range active[lo:hi] {
+		for j, end := idx[u], idx[u+1]; j < end; j++ {
+			v := tgt[j]
+			locks.lock(v)
+			alg.PushEdge(u, v, wts[j])
+			locks.unlock(v)
+		}
+	}
+}
+
+func (r *runner) pushSpanPlainTracked(worker, lo, hi int) {
+	alg, b, active := r.alg, r.builder, r.active
+	idx, tgt, wts := r.out.Index, r.out.Targets, r.out.Weights
+	for _, u := range active[lo:hi] {
+		for j, end := idx[u], idx[u+1]; j < end; j++ {
+			if alg.PushEdge(u, tgt[j], wts[j]) {
+				b.Add(worker, tgt[j])
+			}
+		}
+	}
+}
+
+func (r *runner) pushSpanPlainDense(_, lo, hi int) {
+	alg, active := r.alg, r.active
+	idx, tgt, wts := r.out.Index, r.out.Targets, r.out.Weights
+	for _, u := range active[lo:hi] {
+		for j, end := idx[u], idx[u+1]; j < end; j++ {
+			alg.PushEdge(u, tgt[j], wts[j])
+		}
+	}
 }
 
 // vertexPull runs one vertex-centric pull iteration over the in-adjacency:
@@ -39,43 +178,66 @@ func (r *runner) vertexPush(frontier *graph.Frontier) *graph.Frontier {
 // the ones active in the current frontier and updates only its own state —
 // no synchronization needed, and the scan may stop early (Section 6.1.1).
 func (r *runner) vertexPull(frontier *graph.Frontier) *graph.Frontier {
-	in := r.inAdjacency()
-	frontier.ToDense()
-	n := r.g.NumVertices()
-	var builder *graph.FrontierBuilder
-	if r.track {
-		builder = graph.NewFrontierBuilder(n, r.workers)
-	}
-	sched.ParallelForWorker(0, n, 256, r.workers, func(worker, lo, hi int) {
-		for vi := lo; vi < hi; vi++ {
-			v := graph.VertexID(vi)
-			if !r.alg.PullActive(v) {
-				continue
-			}
-			nbrs := in.Neighbors(v)
-			ws := in.NeighborWeights(v)
-			changedAny := false
-			for j, u := range nbrs {
-				if !frontier.Contains(u) {
-					continue
-				}
-				changed, done := r.alg.PullEdge(v, u, ws[j])
-				if changed {
-					changedAny = true
-				}
-				if done {
-					break
-				}
-			}
-			if changedAny && r.track {
-				builder.Add(worker, v)
-			}
-		}
-	})
-	if !r.track {
+	r.bits = frontier.Bitmap()
+	b := r.nextBuilder()
+	sched.ParallelForWorker(0, r.g.NumVertices(), pullVertexChunk, r.workers, r.pullSpan)
+	if b == nil {
 		return nil
 	}
-	return builder.Collect()
+	return r.collect(b)
+}
+
+// Pull span variants over destination vertex ids [lo, hi). Pull mode gives
+// each destination to exactly one worker, so next-frontier marking uses the
+// unsynchronized AddUnsynced (see pullVertexChunk for the word-alignment
+// argument) and destination updates need no locks regardless of cfg.Sync.
+
+func (r *runner) pullSpanTracked(worker, lo, hi int) {
+	alg, b, bits := r.alg, r.builder, r.bits
+	idx, tgt, wts := r.in.Index, r.in.Targets, r.in.Weights
+	for vi := lo; vi < hi; vi++ {
+		v := graph.VertexID(vi)
+		if !alg.PullActive(v) {
+			continue
+		}
+		changedAny := false
+		for j, end := idx[v], idx[v+1]; j < end; j++ {
+			u := tgt[j]
+			if bits[u>>6]&(1<<(u&63)) == 0 {
+				continue
+			}
+			changed, done := alg.PullEdge(v, u, wts[j])
+			if changed {
+				changedAny = true
+			}
+			if done {
+				break
+			}
+		}
+		if changedAny {
+			b.AddUnsynced(worker, v)
+		}
+	}
+}
+
+func (r *runner) pullSpanDense(_, lo, hi int) {
+	alg, bits := r.alg, r.bits
+	idx, tgt, wts := r.in.Index, r.in.Targets, r.in.Weights
+	for vi := lo; vi < hi; vi++ {
+		v := graph.VertexID(vi)
+		if !alg.PullActive(v) {
+			continue
+		}
+		for j, end := idx[v], idx[v+1]; j < end; j++ {
+			u := tgt[j]
+			if bits[u>>6]&(1<<(u&63)) == 0 {
+				continue
+			}
+			if _, done := alg.PullEdge(v, u, wts[j]); done {
+				break
+			}
+		}
+	}
 }
 
 // edgeCentric runs one edge-centric iteration: the whole edge array is
@@ -84,32 +246,128 @@ func (r *runner) vertexPull(frontier *graph.Frontier) *graph.Frontier {
 // offer no ownership structure to avoid synchronization (Section 6.1.3).
 // Undirected datasets traverse each stored edge in both directions.
 func (r *runner) edgeCentric(frontier *graph.Frontier) *graph.Frontier {
-	edges := r.g.EdgeArray.Edges
-	frontier.ToDense()
-	var builder *graph.FrontierBuilder
-	if r.track {
-		builder = graph.NewFrontierBuilder(r.g.NumVertices(), r.workers)
-	}
-	directed := r.g.Directed
-	sched.ParallelForWorker(0, len(edges), sched.DefaultChunkSize, r.workers, func(worker, lo, hi int) {
-		for i := lo; i < hi; i++ {
-			e := edges[i]
-			if frontier.Contains(e.Src) {
-				if r.pushEdge(e.Src, e.Dst, e.W, false) && r.track {
-					builder.Add(worker, e.Dst)
-				}
-			}
-			if !directed && e.Src != e.Dst && frontier.Contains(e.Dst) {
-				if r.pushEdge(e.Dst, e.Src, e.W, false) && r.track {
-					builder.Add(worker, e.Src)
-				}
-			}
-		}
-	})
-	if !r.track {
+	r.bits = frontier.Bitmap()
+	b := r.nextBuilder()
+	sched.ParallelForWorker(0, len(r.g.EdgeArray.Edges), sched.DefaultChunkSize, r.workers, r.edgeSpan)
+	if b == nil {
 		return nil
 	}
-	return builder.Collect()
+	return r.collect(b)
+}
+
+// Edge-centric span variants over edge indices [lo, hi). The per-edge
+// undirected mirror check stays inside the loop: it is a data-independent,
+// perfectly predicted branch once r.g.Directed is fixed.
+
+func (r *runner) edgeSpanAtomicTracked(worker, lo, hi int) {
+	alg, b, bits := r.alg, r.builder, r.bits
+	edges, directed := r.g.EdgeArray.Edges, r.g.Directed
+	for i := lo; i < hi; i++ {
+		e := edges[i]
+		if bits[e.Src>>6]&(1<<(e.Src&63)) != 0 {
+			if alg.PushEdgeAtomic(e.Src, e.Dst, e.W) {
+				b.Add(worker, e.Dst)
+			}
+		}
+		if !directed && e.Src != e.Dst && bits[e.Dst>>6]&(1<<(e.Dst&63)) != 0 {
+			if alg.PushEdgeAtomic(e.Dst, e.Src, e.W) {
+				b.Add(worker, e.Src)
+			}
+		}
+	}
+}
+
+func (r *runner) edgeSpanAtomicDense(_, lo, hi int) {
+	alg, bits := r.alg, r.bits
+	edges, directed := r.g.EdgeArray.Edges, r.g.Directed
+	for i := lo; i < hi; i++ {
+		e := edges[i]
+		if bits[e.Src>>6]&(1<<(e.Src&63)) != 0 {
+			alg.PushEdgeAtomic(e.Src, e.Dst, e.W)
+		}
+		if !directed && e.Src != e.Dst && bits[e.Dst>>6]&(1<<(e.Dst&63)) != 0 {
+			alg.PushEdgeAtomic(e.Dst, e.Src, e.W)
+		}
+	}
+}
+
+func (r *runner) edgeSpanLocksTracked(worker, lo, hi int) {
+	alg, b, bits, locks := r.alg, r.builder, r.bits, r.locks
+	edges, directed := r.g.EdgeArray.Edges, r.g.Directed
+	for i := lo; i < hi; i++ {
+		e := edges[i]
+		if bits[e.Src>>6]&(1<<(e.Src&63)) != 0 {
+			locks.lock(e.Dst)
+			activated := alg.PushEdge(e.Src, e.Dst, e.W)
+			locks.unlock(e.Dst)
+			if activated {
+				b.Add(worker, e.Dst)
+			}
+		}
+		if !directed && e.Src != e.Dst && bits[e.Dst>>6]&(1<<(e.Dst&63)) != 0 {
+			locks.lock(e.Src)
+			activated := alg.PushEdge(e.Dst, e.Src, e.W)
+			locks.unlock(e.Src)
+			if activated {
+				b.Add(worker, e.Src)
+			}
+		}
+	}
+}
+
+func (r *runner) edgeSpanLocksDense(_, lo, hi int) {
+	alg, bits, locks := r.alg, r.bits, r.locks
+	edges, directed := r.g.EdgeArray.Edges, r.g.Directed
+	for i := lo; i < hi; i++ {
+		e := edges[i]
+		if bits[e.Src>>6]&(1<<(e.Src&63)) != 0 {
+			locks.lock(e.Dst)
+			alg.PushEdge(e.Src, e.Dst, e.W)
+			locks.unlock(e.Dst)
+		}
+		if !directed && e.Src != e.Dst && bits[e.Dst>>6]&(1<<(e.Dst&63)) != 0 {
+			locks.lock(e.Src)
+			alg.PushEdge(e.Dst, e.Src, e.W)
+			locks.unlock(e.Src)
+		}
+	}
+}
+
+// edgeSpanPlainTracked/Dense exist for interface symmetry: Validate rejects
+// partition-free edge arrays (no destination ownership), so they can only
+// be reached by a configuration that bypassed validation; they perform the
+// same unsynchronized update the old per-edge switch defaulted to.
+
+func (r *runner) edgeSpanPlainTracked(worker, lo, hi int) {
+	alg, b, bits := r.alg, r.builder, r.bits
+	edges, directed := r.g.EdgeArray.Edges, r.g.Directed
+	for i := lo; i < hi; i++ {
+		e := edges[i]
+		if bits[e.Src>>6]&(1<<(e.Src&63)) != 0 {
+			if alg.PushEdge(e.Src, e.Dst, e.W) {
+				b.Add(worker, e.Dst)
+			}
+		}
+		if !directed && e.Src != e.Dst && bits[e.Dst>>6]&(1<<(e.Dst&63)) != 0 {
+			if alg.PushEdge(e.Dst, e.Src, e.W) {
+				b.Add(worker, e.Src)
+			}
+		}
+	}
+}
+
+func (r *runner) edgeSpanPlainDense(_, lo, hi int) {
+	alg, bits := r.alg, r.bits
+	edges, directed := r.g.EdgeArray.Edges, r.g.Directed
+	for i := lo; i < hi; i++ {
+		e := edges[i]
+		if bits[e.Src>>6]&(1<<(e.Src&63)) != 0 {
+			alg.PushEdge(e.Src, e.Dst, e.W)
+		}
+		if !directed && e.Src != e.Dst && bits[e.Dst>>6]&(1<<(e.Dst&63)) != 0 {
+			alg.PushEdge(e.Dst, e.Src, e.W)
+		}
+	}
 }
 
 // gridStep runs one iteration over the grid layout. Under
@@ -121,79 +379,160 @@ func (r *runner) edgeCentric(frontier *graph.Frontier) *graph.Frontier {
 // of Figure 8).
 func (r *runner) gridStep(frontier *graph.Frontier, pullMode bool) *graph.Frontier {
 	grid := r.g.Grid
-	frontier.ToDense()
-	var builder *graph.FrontierBuilder
-	if r.track {
-		builder = graph.NewFrontierBuilder(r.g.NumVertices(), r.workers)
-	}
+	r.bits = frontier.Bitmap()
+	b := r.nextBuilder()
 
-	processEdge := func(worker int, e graph.Edge, ownsDst bool) {
-		if !frontier.Contains(e.Src) {
-			return
+	owned := r.cfg.Sync == SyncPartitionFree
+	if pullMode {
+		switch {
+		case owned:
+			r.cellFn = r.cellPullOwned
+		case r.cfg.Sync == SyncAtomics:
+			r.cellFn = r.cellPullAtomic
+		case r.cfg.Sync == SyncLocks:
+			r.cellFn = r.cellPullLocks
+		default:
+			r.cellFn = r.cellPullPlain
 		}
-		if pullMode {
-			if !r.alg.PullActive(e.Dst) {
-				return
-			}
-			var changed bool
-			if ownsDst {
-				// Column ownership makes the destination update race-free.
-				changed, _ = r.alg.PullEdge(e.Dst, e.Src, e.W)
-			} else {
-				// Without ownership the update must be synchronized; the
-				// push edge function performs the same state transition
-				// under the configured locks/atomics discipline.
-				changed = r.pushEdge(e.Src, e.Dst, e.W, false)
-			}
-			if changed && r.track {
-				builder.Add(worker, e.Dst)
-			}
-			return
-		}
-		if r.pushEdge(e.Src, e.Dst, e.W, ownsDst) && r.track {
-			builder.Add(worker, e.Dst)
+	} else {
+		switch {
+		case owned:
+			r.cellFn = r.cellPushOwned
+		case r.cfg.Sync == SyncAtomics:
+			r.cellFn = r.cellPushAtomic
+		case r.cfg.Sync == SyncLocks:
+			r.cellFn = r.cellPushLocks
+		default:
+			r.cellFn = r.cellPushPlain
 		}
 	}
 
-	if r.cfg.Sync == SyncPartitionFree {
+	if owned {
 		// Column ownership: worker processes every cell of its columns.
-		sched.ParallelForWorker(0, grid.P, 1, r.workers, func(worker, lo, hi int) {
-			for col := lo; col < hi; col++ {
-				for row := 0; row < grid.P; row++ {
-					for _, e := range grid.Cell(row, col) {
-						processEdge(worker, e, true)
-					}
-				}
-			}
-		})
+		sched.ParallelForWorker(0, grid.P, 1, r.workers, r.gridOwnedBody)
 	} else {
 		// Cell-parallel with synchronized updates.
-		sched.ParallelForWorker(0, grid.NumCells(), 4, r.workers, func(worker, lo, hi int) {
-			for c := lo; c < hi; c++ {
-				row, col := c/grid.P, c%grid.P
-				for _, e := range grid.Cell(row, col) {
-					processEdge(worker, e, false)
-				}
-			}
-		})
+		sched.ParallelForWorker(0, grid.NumCells(), 4, r.workers, r.gridCellsBody)
 	}
-	if !r.track {
+	if b == nil {
 		return nil
 	}
-	return builder.Collect()
+	return r.collect(b)
 }
 
-// outAdjacency returns the adjacency used for push iterations.
-func (r *runner) outAdjacency() *graph.Adjacency {
-	return r.g.Out
-}
+// Grid cell functions: one per {owned, atomics, locks, plain} x {push,
+// pull} combination, processing every edge of one cell. The frontier
+// tracking check sits on the activation path only (activations are rare),
+// guarded by b != nil because push-pull grids flip direction between
+// iterations.
 
-// inAdjacency returns the adjacency used for pull iterations: the incoming
-// lists on directed graphs, or the (doubled) outgoing lists on undirected
-// graphs, where the two coincide (Section 6.1.3).
-func (r *runner) inAdjacency() *graph.Adjacency {
-	if r.g.In != nil {
-		return r.g.In
+func (r *runner) runCellPushOwned(worker int, cell []graph.Edge) {
+	alg, b, bits := r.alg, r.builder, r.bits
+	for _, e := range cell {
+		if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
+			continue
+		}
+		if alg.PushEdge(e.Src, e.Dst, e.W) && b != nil {
+			b.Add(worker, e.Dst)
+		}
 	}
-	return r.g.Out
+}
+
+func (r *runner) runCellPushAtomic(worker int, cell []graph.Edge) {
+	alg, b, bits := r.alg, r.builder, r.bits
+	for _, e := range cell {
+		if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
+			continue
+		}
+		if alg.PushEdgeAtomic(e.Src, e.Dst, e.W) && b != nil {
+			b.Add(worker, e.Dst)
+		}
+	}
+}
+
+func (r *runner) runCellPushLocks(worker int, cell []graph.Edge) {
+	alg, b, bits, locks := r.alg, r.builder, r.bits, r.locks
+	for _, e := range cell {
+		if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
+			continue
+		}
+		locks.lock(e.Dst)
+		activated := alg.PushEdge(e.Src, e.Dst, e.W)
+		locks.unlock(e.Dst)
+		if activated && b != nil {
+			b.Add(worker, e.Dst)
+		}
+	}
+}
+
+func (r *runner) runCellPushPlain(worker int, cell []graph.Edge) {
+	r.runCellPushOwned(worker, cell)
+}
+
+func (r *runner) runCellPullOwned(worker int, cell []graph.Edge) {
+	alg, b, bits := r.alg, r.builder, r.bits
+	for _, e := range cell {
+		if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
+			continue
+		}
+		if !alg.PullActive(e.Dst) {
+			continue
+		}
+		// Column ownership makes the destination update race-free.
+		if changed, _ := alg.PullEdge(e.Dst, e.Src, e.W); changed && b != nil {
+			b.Add(worker, e.Dst)
+		}
+	}
+}
+
+// Unowned pull cells synchronize the destination update through the
+// algorithm's push-edge functions, which perform the same state transition
+// under the configured locks/atomics discipline.
+
+func (r *runner) runCellPullAtomic(worker int, cell []graph.Edge) {
+	alg, b, bits := r.alg, r.builder, r.bits
+	for _, e := range cell {
+		if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
+			continue
+		}
+		if !alg.PullActive(e.Dst) {
+			continue
+		}
+		if alg.PushEdgeAtomic(e.Src, e.Dst, e.W) && b != nil {
+			b.Add(worker, e.Dst)
+		}
+	}
+}
+
+func (r *runner) runCellPullLocks(worker int, cell []graph.Edge) {
+	alg, b, bits, locks := r.alg, r.builder, r.bits, r.locks
+	for _, e := range cell {
+		if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
+			continue
+		}
+		if !alg.PullActive(e.Dst) {
+			continue
+		}
+		locks.lock(e.Dst)
+		changed := alg.PushEdge(e.Src, e.Dst, e.W)
+		locks.unlock(e.Dst)
+		if changed && b != nil {
+			b.Add(worker, e.Dst)
+		}
+	}
+}
+
+func (r *runner) runCellPullPlain(worker int, cell []graph.Edge) {
+	alg, b, bits := r.alg, r.builder, r.bits
+	for _, e := range cell {
+		if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
+			continue
+		}
+		if !alg.PullActive(e.Dst) {
+			continue
+		}
+		if alg.PushEdge(e.Src, e.Dst, e.W) && b != nil {
+			b.Add(worker, e.Dst)
+		}
+	}
 }

@@ -2,7 +2,8 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+
+	"github.com/epfl-repro/everythinggraph/internal/sched"
 )
 
 // Adjacency is a compressed-sparse-row (CSR) adjacency structure: for every
@@ -92,29 +93,99 @@ func (a *Adjacency) Validate() error {
 // SortNeighbors sorts each per-vertex neighbour array by target id, carrying
 // the weights along, and sets SortedByTarget. This is the extra
 // pre-processing step whose (absent) benefit is measured in Section 5.2.
-func (a *Adjacency) SortNeighbors() {
-	for v := 0; v < a.NumVertices; v++ {
+// It is a measured pre-processing cost, so it runs vertex-parallel and
+// sorts with direct dual-slice routines instead of sort.Sort's
+// interface-dispatched comparisons. It uses all CPUs; use
+// SortNeighborsParallel to bound the parallelism.
+func (a *Adjacency) SortNeighbors() { a.SortNeighborsParallel(0) }
+
+// SortNeighborsParallel is SortNeighbors with an explicit worker bound
+// (workers<=0 selects all CPUs). internal/prep routes its builds through
+// this so the measured pre-processing honours the configured parallelism.
+func (a *Adjacency) SortNeighborsParallel(workers int) {
+	sched.ParallelFor(0, a.NumVertices, workers, func(v int) {
 		lo, hi := a.Index[v], a.Index[v+1]
 		if hi-lo < 2 {
-			continue
+			return
 		}
-		nb := a.Targets[lo:hi]
-		w := a.Weights[lo:hi]
-		sort.Sort(&neighborSorter{nb: nb, w: w})
-	}
+		sortNeighborSpan(a.Targets[lo:hi], a.Weights[lo:hi])
+	})
 	a.SortedByTarget = true
 }
 
-type neighborSorter struct {
-	nb []VertexID
-	w  []Weight
+// insertionSortCutoff is the span length below which neighbour sorting uses
+// insertion sort; most per-vertex neighbour lists are short, so this is the
+// common case.
+const insertionSortCutoff = 16
+
+// sortNeighborSpan sorts nb ascending, applying the same permutation to w.
+// Plain quicksort (median-of-three pivot) with an insertion-sort base case;
+// recursion always descends into the smaller half so the stack depth is
+// O(log n) even on adversarial inputs.
+func sortNeighborSpan(nb []VertexID, w []Weight) {
+	for len(nb) > insertionSortCutoff {
+		p := partitionNeighbors(nb, w)
+		if p < len(nb)-p-1 {
+			sortNeighborSpan(nb[:p], w[:p])
+			nb, w = nb[p+1:], w[p+1:]
+		} else {
+			sortNeighborSpan(nb[p+1:], w[p+1:])
+			nb, w = nb[:p], w[:p]
+		}
+	}
+	// Insertion sort for the base case.
+	for i := 1; i < len(nb); i++ {
+		tv, tw := nb[i], w[i]
+		j := i - 1
+		for j >= 0 && nb[j] > tv {
+			nb[j+1], w[j+1] = nb[j], w[j]
+			j--
+		}
+		nb[j+1], w[j+1] = tv, tw
+	}
 }
 
-func (s *neighborSorter) Len() int           { return len(s.nb) }
-func (s *neighborSorter) Less(i, j int) bool { return s.nb[i] < s.nb[j] }
-func (s *neighborSorter) Swap(i, j int) {
-	s.nb[i], s.nb[j] = s.nb[j], s.nb[i]
-	s.w[i], s.w[j] = s.w[j], s.w[i]
+// partitionNeighbors performs a Hoare-style median-of-three partition and
+// returns the final pivot position.
+func partitionNeighbors(nb []VertexID, w []Weight) int {
+	n := len(nb)
+	mid, last := n/2, n-1
+	// Median-of-three: order nb[0], nb[mid], nb[last], then use nb[mid] as
+	// the pivot, parked at position last-1.
+	if nb[mid] < nb[0] {
+		nb[mid], nb[0] = nb[0], nb[mid]
+		w[mid], w[0] = w[0], w[mid]
+	}
+	if nb[last] < nb[0] {
+		nb[last], nb[0] = nb[0], nb[last]
+		w[last], w[0] = w[0], w[last]
+	}
+	if nb[last] < nb[mid] {
+		nb[last], nb[mid] = nb[mid], nb[last]
+		w[last], w[mid] = w[mid], w[last]
+	}
+	nb[mid], nb[last-1] = nb[last-1], nb[mid]
+	w[mid], w[last-1] = w[last-1], w[mid]
+	pivot := nb[last-1]
+	i, j := 0, last-1
+	for {
+		i++
+		for nb[i] < pivot {
+			i++
+		}
+		j--
+		for nb[j] > pivot {
+			j--
+		}
+		if i >= j {
+			break
+		}
+		nb[i], nb[j] = nb[j], nb[i]
+		w[i], w[j] = w[j], w[i]
+	}
+	nb[i], nb[last-1] = nb[last-1], nb[i]
+	w[i], w[last-1] = w[last-1], w[i]
+	return i
 }
 
 // Edges reconstructs the (src,dst,weight) triples represented by the CSR,

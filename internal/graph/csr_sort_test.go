@@ -1,0 +1,115 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestSortNeighborsMatchesReferenceSort builds CSRs with adversarial
+// per-vertex list shapes (empty, single, short, long, duplicate-heavy,
+// already-sorted, reversed) and checks the parallel dual-slice sort against
+// sort.SliceStable on (target, weight) pairs: targets ascending, and every
+// weight still travelling with its original target.
+func TestSortNeighborsMatchesReferenceSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	const numVertices = 300
+	var index []uint64
+	var targets []VertexID
+	var weights []Weight
+	index = append(index, 0)
+	for v := 0; v < numVertices; v++ {
+		var deg int
+		switch v % 6 {
+		case 0:
+			deg = 0
+		case 1:
+			deg = 1
+		case 2:
+			deg = rng.Intn(insertionSortCutoff) // insertion-sort path
+		case 3:
+			deg = insertionSortCutoff + rng.Intn(200) // quicksort path
+		case 4:
+			deg = 64 // duplicate-heavy below
+		default:
+			deg = 1000 // deep quicksort recursion
+		}
+		for i := 0; i < deg; i++ {
+			var tgt VertexID
+			if v%6 == 4 {
+				tgt = VertexID(rng.Intn(3)) // almost all duplicates
+			} else {
+				tgt = VertexID(rng.Intn(numVertices))
+			}
+			targets = append(targets, tgt)
+			// Weight encodes the original (vertex, position) so pairing can
+			// be verified after the sort.
+			weights = append(weights, Weight(v*10000+i))
+		}
+		if v%7 == 0 {
+			// Pre-sorted and reversed lists hit quicksort's worst cases.
+			nb := targets[index[v]:]
+			sort.Slice(nb, func(i, j int) bool { return nb[i] > nb[j] })
+		}
+		index = append(index, uint64(len(targets)))
+	}
+
+	// Reference: stable-sort (target, weight) pairs per vertex.
+	type pair struct {
+		t VertexID
+		w Weight
+	}
+	want := make([][]pair, numVertices)
+	for v := 0; v < numVertices; v++ {
+		lo, hi := index[v], index[v+1]
+		for i := lo; i < hi; i++ {
+			want[v] = append(want[v], pair{targets[i], weights[i]})
+		}
+		sort.SliceStable(want[v], func(i, j int) bool { return want[v][i].t < want[v][j].t })
+	}
+
+	a := &Adjacency{Index: index, Targets: targets, Weights: weights, NumVertices: numVertices}
+	a.SortNeighbors()
+
+	if !a.SortedByTarget {
+		t.Fatal("SortedByTarget not set")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("Validate after sort: %v", err)
+	}
+	for v := 0; v < numVertices; v++ {
+		nb := a.Neighbors(VertexID(v))
+		ws := a.NeighborWeights(VertexID(v))
+		if len(nb) != len(want[v]) {
+			t.Fatalf("vertex %d: length changed to %d", v, len(nb))
+		}
+		// Targets must match the reference exactly; weights must match as a
+		// multiset per target run (dual-slice quicksort is not stable).
+		for i := range nb {
+			if nb[i] != want[v][i].t {
+				t.Fatalf("vertex %d: target[%d] = %d, want %d", v, i, nb[i], want[v][i].t)
+			}
+		}
+		i := 0
+		for i < len(nb) {
+			j := i
+			for j < len(nb) && nb[j] == nb[i] {
+				j++
+			}
+			gotW := make([]float64, 0, j-i)
+			wantW := make([]float64, 0, j-i)
+			for k := i; k < j; k++ {
+				gotW = append(gotW, float64(ws[k]))
+				wantW = append(wantW, float64(want[v][k].w))
+			}
+			sort.Float64s(gotW)
+			sort.Float64s(wantW)
+			for k := range gotW {
+				if gotW[k] != wantW[k] {
+					t.Fatalf("vertex %d: weights for target %d diverged", v, nb[i])
+				}
+			}
+			i = j
+		}
+	}
+}

@@ -18,13 +18,20 @@ import (
 // The push-pull (direction-optimizing) switch of Section 6 decides per
 // iteration which representation and direction to use, based on the number
 // of active vertices and their outgoing edges.
+//
+// A frontier may carry BOTH representations at once: builders emit the
+// sparse list with the construction bitmap attached, and conversions cache
+// their result instead of discarding it, so repeated Sparse()/Bitmap()
+// calls in the engine's steady state cost nothing and allocate nothing.
+// Frontiers are immutable once built (only representation conversions
+// mutate them), which is what makes the caching sound.
 type Frontier struct {
 	numVertices int
-	sparse      []VertexID
-	dense       []uint64 // bitmap, valid when isDense
-	isDense     bool
-	count       int   // number of active vertices
-	outEdges    int64 // sum of out-degrees of active vertices, -1 if unknown
+	sparse      []VertexID // active vertex list; valid when !isDense or kept as cache
+	dense       []uint64   // bitmap; valid whenever non-nil
+	isDense     bool       // dense is the canonical representation
+	count       int        // number of active vertices
+	outEdges    int64      // sum of out-degrees of active vertices, -1 if unknown
 }
 
 // NewFrontier creates an empty sparse frontier for a graph with numVertices
@@ -88,10 +95,10 @@ func (f *Frontier) SetOutEdges(n int64) { f.outEdges = n }
 func (f *Frontier) OutEdges() int64 { return f.outEdges }
 
 // Contains reports whether v is active. It works on both representations
-// (O(1) dense, O(count) sparse; the engine densifies before any
-// membership-heavy phase).
+// (O(1) whenever a bitmap is attached, O(count) on purely sparse frontiers;
+// the engine densifies before any membership-heavy phase).
 func (f *Frontier) Contains(v VertexID) bool {
-	if f.isDense {
+	if f.dense != nil {
 		return f.dense[v/64]&(1<<(v%64)) != 0
 	}
 	for _, u := range f.sparse {
@@ -103,8 +110,12 @@ func (f *Frontier) Contains(v VertexID) bool {
 }
 
 // Sparse returns the active vertices as a slice, converting if necessary.
+// The conversion result is cached on the frontier, so calling Sparse every
+// iteration on a long-lived dense frontier (PageRank's full frontier)
+// allocates only once. The returned slice is shared; callers must not
+// modify it.
 func (f *Frontier) Sparse() []VertexID {
-	if !f.isDense {
+	if !f.isDense || f.sparse != nil {
 		return f.sparse
 	}
 	out := make([]VertexID, 0, f.count)
@@ -115,18 +126,20 @@ func (f *Frontier) Sparse() []VertexID {
 			word &= word - 1
 		}
 	}
+	f.sparse = out
 	return out
 }
 
-// Bitmap returns the dense bitmap, converting if necessary. The returned
-// slice is shared with the frontier.
+// Bitmap returns the dense bitmap, converting if necessary. A bitmap
+// attached at construction time (builder-emitted frontiers) is returned
+// as-is, so the conversion is free in the engine's steady state. The
+// returned slice is shared with the frontier.
 func (f *Frontier) Bitmap() []uint64 {
-	if f.isDense {
-		return f.dense
-	}
-	f.dense = make([]uint64, (f.numVertices+63)/64)
-	for _, v := range f.sparse {
-		f.dense[v/64] |= 1 << (v % 64)
+	if f.dense == nil {
+		f.dense = make([]uint64, (f.numVertices+63)/64)
+		for _, v := range f.sparse {
+			f.dense[v/64] |= 1 << (v % 64)
+		}
 	}
 	f.isDense = true
 	return f.dense
@@ -149,6 +162,15 @@ func (f *Frontier) ToSparse() {
 // safe for concurrent use: vertices are marked in a shared bitmap with
 // atomic operations, and per-worker sparse lists avoid contention on a
 // shared slice. Collect merges the per-worker lists into a Frontier.
+//
+// A builder is reusable: Reset returns it to the empty state in time
+// proportional to the vertices added since the previous Reset — not to
+// |V|/64 bitmap words — and retains every buffer, so a long-running engine
+// performs zero allocations per iteration once its builders are warm. The
+// bitmap is shared with the frontiers the builder emits, so an emitted
+// frontier is only valid until the builder's next Reset; the engine
+// double-buffers two builders to overlap one frontier's consumption with
+// the next one's construction.
 type FrontierBuilder struct {
 	numVertices int
 	bits        []uint64
@@ -205,24 +227,47 @@ func (b *FrontierBuilder) Contains(v VertexID) bool {
 	return atomic.LoadUint64(&b.bits[v/64])&(1<<(v%64)) != 0
 }
 
-// Collect merges the per-worker lists into a sparse Frontier (reusing the
+// Reset returns the builder to the empty state so it can build another
+// frontier. It runs in O(vertices added since the previous Reset): the bits
+// to clear are exactly the ones recorded in the per-worker lists, so the
+// whole |V|/64-word bitmap is never touched. The per-worker lists are
+// truncated in place, retaining their capacity. Frontiers emitted by
+// Collect/CollectInto/CollectDense share the builder's bitmap and become
+// invalid when Reset is called.
+func (b *FrontierBuilder) Reset() {
+	for w, l := range b.perWorker {
+		for _, v := range l {
+			b.bits[v/64] &^= 1 << (v % 64)
+		}
+		b.perWorker[w] = l[:0]
+	}
+}
+
+// Collect merges the per-worker lists into a sparse Frontier, reusing the
 // builder's bitmap as the dense form so the result can flip representation
-// cheaply).
+// cheaply (ToDense/Bitmap on the result is free).
 func (b *FrontierBuilder) Collect() *Frontier {
+	return b.CollectInto(&Frontier{})
+}
+
+// CollectInto is Collect writing into a caller-owned Frontier, reusing its
+// sparse buffer: with a warm buffer the merge performs zero allocations.
+// The previous contents of f are overwritten. It returns f.
+func (b *FrontierBuilder) CollectInto(f *Frontier) *Frontier {
 	total := 0
 	for _, l := range b.perWorker {
 		total += len(l)
 	}
-	all := make([]VertexID, 0, total)
+	all := f.sparse[:0]
 	for _, l := range b.perWorker {
 		all = append(all, l...)
 	}
-	f := &Frontier{
-		numVertices: b.numVertices,
-		sparse:      all,
-		count:       total,
-		outEdges:    -1,
-	}
+	f.numVertices = b.numVertices
+	f.sparse = all
+	f.dense = b.bits
+	f.isDense = false
+	f.count = total
+	f.outEdges = -1
 	return f
 }
 

@@ -1,0 +1,180 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+	"testing"
+)
+
+// sortedIDs returns a sorted copy of a frontier's sparse list.
+func sortedIDs(f *Frontier) []VertexID {
+	src := f.Sparse()
+	out := make([]VertexID, len(src))
+	copy(out, src)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// TestCollectAttachesBitmap is the regression test for the Collect contract:
+// the returned frontier must reuse the builder's bitmap as its dense form so
+// the engine's next ToDense/Bitmap call is free instead of re-allocating and
+// re-populating |V|/64 words.
+func TestCollectAttachesBitmap(t *testing.T) {
+	b := NewFrontierBuilder(1000, 2)
+	for _, v := range []VertexID{3, 64, 501, 999} {
+		b.Add(0, v)
+	}
+	f := b.Collect()
+	if f.Count() != 4 {
+		t.Fatalf("count = %d, want 4", f.Count())
+	}
+	bm := f.Bitmap()
+	if &bm[0] != &b.bits[0] {
+		t.Fatal("Collect did not attach the builder's bitmap: Bitmap() re-allocated")
+	}
+	for _, v := range []VertexID{3, 64, 501, 999} {
+		if !f.Contains(v) {
+			t.Fatalf("vertex %d missing after ToDense", v)
+		}
+	}
+	if f.Contains(4) || f.Contains(0) {
+		t.Fatal("spurious vertex in attached bitmap")
+	}
+}
+
+func TestBuilderResetClearsOnlyAddedBits(t *testing.T) {
+	b := NewFrontierBuilder(256, 4)
+	first := []VertexID{0, 1, 63, 64, 255}
+	for i, v := range first {
+		b.Add(i%4, v)
+	}
+	b.Reset()
+	for v := VertexID(0); v < 256; v++ {
+		if b.Contains(v) {
+			t.Fatalf("vertex %d still set after Reset", v)
+		}
+	}
+	// The builder must be fully usable again.
+	second := []VertexID{2, 64, 200}
+	for i, v := range second {
+		if !b.Add(i%4, v) {
+			t.Fatalf("Add(%d) after Reset reported already-present", v)
+		}
+	}
+	f := b.Collect()
+	got := sortedIDs(f)
+	if len(got) != len(second) {
+		t.Fatalf("collected %v, want %v", got, second)
+	}
+	for i, v := range second {
+		if got[i] != v {
+			t.Fatalf("collected %v, want %v", got, second)
+		}
+	}
+}
+
+func TestCollectIntoReusesFrontierBuffers(t *testing.T) {
+	b := NewFrontierBuilder(128, 2)
+	var f Frontier
+	b.Add(0, 7)
+	b.Add(1, 99)
+	b.CollectInto(&f)
+	if f.Count() != 2 || !f.Contains(7) || !f.Contains(99) {
+		t.Fatalf("first collect wrong: count=%d", f.Count())
+	}
+	// Second build cycle into the same frontier object.
+	b.Reset()
+	b.Add(0, 13)
+	b.CollectInto(&f)
+	if f.Count() != 1 || !f.Contains(13) {
+		t.Fatalf("second collect wrong: count=%d", f.Count())
+	}
+	if f.Contains(7) || f.Contains(99) {
+		t.Fatal("stale vertices survived Reset+CollectInto")
+	}
+	if f.OutEdges() != -1 {
+		t.Fatal("OutEdges not reset")
+	}
+}
+
+// TestBuilderConcurrentAddAfterReset drives the builder through several
+// Reset/build cycles with concurrent atomic Adds; run with -race.
+func TestBuilderConcurrentAddAfterReset(t *testing.T) {
+	const n = 1 << 14
+	const workers = 4
+	b := NewFrontierBuilder(n, workers)
+	for round := 0; round < 5; round++ {
+		b.Reset()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				// Overlapping ranges: every vertex is attempted by two
+				// workers, so exactly one Add per vertex must win.
+				lo := w * n / workers
+				hi := lo + n/workers*2
+				for v := lo; v < hi; v++ {
+					b.Add(w, VertexID(v%n))
+				}
+			}(w)
+		}
+		wg.Wait()
+		f := b.Collect()
+		if f.Count() != n {
+			t.Fatalf("round %d: count = %d, want %d (duplicate or lost Adds)", round, f.Count(), n)
+		}
+	}
+}
+
+// TestBuilderConcurrentAddUnsyncedAfterReset exercises the unsynchronized
+// variant under its documented contract: workers own word-aligned,
+// non-overlapping vertex ranges (the pull-mode ownership pattern); -race
+// verifies the contract suffices.
+func TestBuilderConcurrentAddUnsyncedAfterReset(t *testing.T) {
+	const n = 1 << 14
+	const workers = 4
+	const span = n / workers // multiple of 64
+	b := NewFrontierBuilder(n, workers)
+	for round := 0; round < 5; round++ {
+		b.Reset()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for v := w * span; v < (w+1)*span; v++ {
+					if v%3 == 0 {
+						b.AddUnsynced(w, VertexID(v))
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		f := b.Collect()
+		want := (n + 2) / 3
+		if f.Count() != want {
+			t.Fatalf("round %d: count = %d, want %d", round, f.Count(), want)
+		}
+	}
+}
+
+// TestSparseMemoizedOnDenseFrontier checks that converting a dense frontier
+// to a sparse list caches the result: PageRank calls Sparse() on its full
+// frontier every iteration, and the memoization is what makes that free.
+func TestSparseMemoizedOnDenseFrontier(t *testing.T) {
+	f := FullFrontier(1 << 12)
+	a := f.Sparse()
+	bList := f.Sparse()
+	if len(a) != 1<<12 || len(bList) != len(a) {
+		t.Fatalf("sparse lengths %d/%d, want %d", len(a), len(bList), 1<<12)
+	}
+	if &a[0] != &bList[0] {
+		t.Fatal("Sparse() on a dense frontier did not memoize: second call re-allocated")
+	}
+	for i, v := range a {
+		if v != VertexID(i) {
+			t.Fatalf("sparse[%d] = %d, want %d", i, v, i)
+		}
+	}
+}

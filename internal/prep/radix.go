@@ -2,7 +2,6 @@ package prep
 
 import (
 	"math/bits"
-	"sort"
 
 	"github.com/epfl-repro/everythinggraph/internal/graph"
 	"github.com/epfl-repro/everythinggraph/internal/sched"
@@ -164,53 +163,10 @@ func buildRadixSort(edges []graph.Edge, numVertices int, byDst bool, workers int
 
 // SortNeighborsParallel sorts every per-vertex edge array by neighbour id,
 // in parallel over vertices. It implements the adjacency-list cache
-// optimization evaluated (and found unhelpful) in Section 5.2.
+// optimization evaluated (and found unhelpful) in Section 5.2. The sort
+// itself lives with the CSR structure (graph.Adjacency.SortNeighborsParallel,
+// a dual-slice quicksort with no sort.Sort interface dispatch); this
+// wrapper is kept as the pre-processing entry point.
 func SortNeighborsParallel(a *graph.Adjacency, workers int) {
-	sched.ParallelForChunked(0, a.NumVertices, 256, workers, func(lo, hi int) {
-		for v := lo; v < hi; v++ {
-			sortNeighborRange(a, graph.VertexID(v))
-		}
-	})
-	a.SortedByTarget = true
-}
-
-// insertionSortThreshold bounds the neighbour-range length handled by
-// insertion sort; longer ranges (power-law hubs with thousands of
-// neighbours) use sort.Sort to avoid quadratic behaviour.
-const insertionSortThreshold = 64
-
-// sortNeighborRange sorts the neighbour range of a single vertex by target
-// id, carrying weights along. Per-vertex ranges are short on average, so
-// insertion sort handles the common case without allocation; hub vertices
-// fall back to the standard sort.
-func sortNeighborRange(a *graph.Adjacency, v graph.VertexID) {
-	lo, hi := a.Index[v], a.Index[v+1]
-	nb := a.Targets[lo:hi]
-	w := a.Weights[lo:hi]
-	if len(nb) > insertionSortThreshold {
-		sort.Sort(&neighborRangeSorter{nb: nb, w: w})
-		return
-	}
-	for i := 1; i < len(nb); i++ {
-		tn, tw := nb[i], w[i]
-		j := i - 1
-		for j >= 0 && nb[j] > tn {
-			nb[j+1], w[j+1] = nb[j], w[j]
-			j--
-		}
-		nb[j+1], w[j+1] = tn, tw
-	}
-}
-
-// neighborRangeSorter sorts a neighbour slice and its parallel weight slice.
-type neighborRangeSorter struct {
-	nb []graph.VertexID
-	w  []graph.Weight
-}
-
-func (s *neighborRangeSorter) Len() int           { return len(s.nb) }
-func (s *neighborRangeSorter) Less(i, j int) bool { return s.nb[i] < s.nb[j] }
-func (s *neighborRangeSorter) Swap(i, j int) {
-	s.nb[i], s.nb[j] = s.nb[j], s.nb[i]
-	s.w[i], s.w[j] = s.w[j], s.w[i]
+	a.SortNeighborsParallel(workers)
 }

@@ -3,6 +3,7 @@ package sched
 import (
 	"math/rand"
 	"sync"
+	"sync/atomic"
 )
 
 // Task is a unit of work executed by a Pool worker. The worker index is
@@ -28,6 +29,121 @@ type Pool struct {
 	queued  int  // submitted but not yet dequeued tasks
 	closed  bool // Close has been called; no further Submits allowed
 	stopped bool // workers should exit once the deques drain
+
+	// Gang-scheduled parallel loops (see tryLoop). loop is non-nil while a
+	// loop is in flight; loopSeq distinguishes successive loops so a worker
+	// joins each at most once (atomic so the task fast path can check it
+	// without taking mu); loopD is the single reusable descriptor, so
+	// steady-state loops allocate nothing.
+	loop    *loopDesc
+	loopSeq atomic.Uint64
+	loopD   loopDesc
+}
+
+// loopDesc describes one gang-scheduled parallel loop executed by the
+// caller plus parked pool workers. Chunks are claimed with an atomic
+// counter, exactly like the chunked parallel-for helpers, so the work
+// distribution behaviour (and therefore the set of executed chunks) is
+// identical to the goroutine-spawning path. Exactly one of bodyW/body is
+// non-nil.
+type loopDesc struct {
+	bodyW             func(worker, lo, hi int)
+	body              func(lo, hi int)
+	begin, end, chunk int
+	numChunks         int64
+	next              atomic.Int64
+	limit             int // max participants, including the caller
+	joined            int // participants so far (incl. caller); guarded by Pool.mu
+	running           int // pool workers still executing; guarded by Pool.mu
+}
+
+// run claims and executes chunks until the loop's counter is exhausted.
+// worker is this participant's dense id in [0, limit).
+func (d *loopDesc) run(worker int) {
+	if d.bodyW != nil {
+		for {
+			c := d.next.Add(1) - 1
+			if c >= d.numChunks {
+				return
+			}
+			lo := d.begin + int(c)*d.chunk
+			hi := lo + d.chunk
+			if hi > d.end {
+				hi = d.end
+			}
+			d.bodyW(worker, lo, hi)
+		}
+	}
+	for {
+		c := d.next.Add(1) - 1
+		if c >= d.numChunks {
+			return
+		}
+		lo := d.begin + int(c)*d.chunk
+		hi := lo + d.chunk
+		if hi > d.end {
+			hi = d.end
+		}
+		d.body(lo, hi)
+	}
+}
+
+// tryLoop runs one chunked parallel loop on the pool's persistent workers,
+// with the calling goroutine participating as worker 0. It returns false —
+// without running anything — if the pool cannot take the loop right now
+// (another loop is in flight, or the pool is closed); the caller then falls
+// back to the goroutine-spawning path. This keeps nested parallel-for calls
+// deadlock-free: a loop body that itself calls ParallelFor simply spawns.
+//
+// Workers that are parked when the loop is installed wake up and join;
+// workers that wake after the loop has completed never touch it. Completion
+// requires only that every chunk has been claimed and every joined
+// participant has finished, so a loop never waits for a worker that is busy
+// with an unrelated task.
+func (p *Pool) tryLoop(begin, end, chunk, limit int, bodyW func(worker, lo, hi int), body func(lo, hi int)) bool {
+	numChunks := int64((end - begin + chunk - 1) / chunk)
+	if int64(limit) > numChunks {
+		limit = int(numChunks)
+	}
+	p.mu.Lock()
+	if p.loop != nil || p.closed || p.stopped {
+		p.mu.Unlock()
+		return false
+	}
+	d := &p.loopD
+	d.bodyW, d.body = bodyW, body
+	d.begin, d.end, d.chunk = begin, end, chunk
+	d.numChunks = numChunks
+	d.next.Store(0)
+	d.limit = limit
+	d.joined = 1 // the caller
+	d.running = 0
+	p.loop = d
+	p.loopSeq.Add(1)
+	// Wake only as many workers as can join: broadcasting for a 2-worker
+	// loop on a large pool would stampede every parked worker through the
+	// mutex just to find joined >= limit. A Signal consumed by a non-worker
+	// waiter (Pool.Wait during a Submit workload) merely costs the loop one
+	// participant — completion never depends on any particular worker.
+	if limit-1 >= p.workers {
+		p.cond.Broadcast()
+	} else {
+		for i := 0; i < limit-1; i++ {
+			p.cond.Signal()
+		}
+	}
+	p.mu.Unlock()
+
+	d.run(0)
+
+	p.mu.Lock()
+	for d.running > 0 {
+		p.cond.Wait()
+	}
+	p.loop = nil
+	d.bodyW, d.body = nil, nil
+	p.mu.Unlock()
+	return true
 }
 
 // NewPool creates a pool with p workers (p<=0 selects MaxWorkers) and starts
@@ -108,7 +224,32 @@ func (p *Pool) Close() {
 func (p *Pool) run(worker int) {
 	defer p.wg.Done()
 	self := p.deques[worker]
+	var lastLoop uint64 // loopSeq of the last gang loop this worker saw
 	for {
+		// Gang loops take priority over queued tasks: they are
+		// latency-sensitive (the caller is blocked on completion). The
+		// sequence check is an uncontended atomic load so the task fast
+		// path pays no extra mutex acquisition.
+		if p.loopSeq.Load() != lastLoop {
+			p.mu.Lock()
+			lastLoop = p.loopSeq.Load()
+			if d := p.loop; d != nil && d.joined < d.limit {
+				id := d.joined
+				d.joined++
+				d.running++
+				p.mu.Unlock()
+				d.run(id)
+				p.mu.Lock()
+				d.running--
+				if d.running == 0 {
+					p.cond.Broadcast()
+				}
+				p.mu.Unlock()
+				continue
+			}
+			p.mu.Unlock()
+		}
+
 		t, ok := self.pop()
 		if !ok {
 			t, ok = p.steal(worker)
@@ -126,9 +267,10 @@ func (p *Pool) run(worker int) {
 			p.mu.Unlock()
 			continue
 		}
-		// No work anywhere: sleep until new work is queued or shutdown.
+		// No work anywhere: park until a task is queued, a gang loop this
+		// worker has not seen arrives, or shutdown.
 		p.mu.Lock()
-		for p.queued == 0 && !p.stopped {
+		for p.queued == 0 && !p.stopped && !(p.loop != nil && p.loopSeq.Load() != lastLoop) {
 			p.cond.Wait()
 		}
 		if p.stopped && p.queued == 0 {

@@ -1,0 +1,142 @@
+package sched
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// The tests in this file exercise the pooled (gang-scheduled) parallel-for
+// path: persistent workers, loop reuse, the spawn fallback for nested and
+// concurrent loops, and the zero-allocation steady-state contract. Run them
+// with -race: worker-id uniqueness and descriptor handoff bugs show up as
+// data races on the unsynchronized per-worker state below.
+
+func TestPooledParallelForWorkerIdsAreUnique(t *testing.T) {
+	const n = 1 << 16
+	const p = 4
+	// Unsynchronized per-worker counters: if two participants ever shared a
+	// worker id, the race detector would flag these writes.
+	var perWorker [p]int64
+	for round := 0; round < 50; round++ {
+		for i := range perWorker {
+			perWorker[i] = 0
+		}
+		ParallelForWorker(0, n, 256, p, func(worker, lo, hi int) {
+			perWorker[worker] += int64(hi - lo)
+		})
+		var total int64
+		for _, v := range perWorker {
+			total += v
+		}
+		if total != n {
+			t.Fatalf("round %d: covered %d elements, want %d", round, total, n)
+		}
+	}
+}
+
+func TestPooledParallelForReusesWorkersAcrossLoops(t *testing.T) {
+	// Back-to-back loops must all complete and cover their ranges; this is
+	// the steady-state pattern of the engine (two loops per iteration).
+	var total int64
+	for i := 0; i < 200; i++ {
+		ParallelForChunked(0, 10000, 64, 8, func(lo, hi int) {
+			atomic.AddInt64(&total, int64(hi-lo))
+		})
+	}
+	if total != 200*10000 {
+		t.Fatalf("total = %d, want %d", total, 200*10000)
+	}
+}
+
+func TestNestedParallelForDoesNotDeadlock(t *testing.T) {
+	// A loop body that itself calls ParallelFor finds the pool busy and must
+	// fall back to spawning goroutines instead of deadlocking.
+	var total int64
+	ParallelForChunked(0, 64, 1, 4, func(lo, hi int) {
+		ParallelFor(0, 100, 4, func(int) {
+			atomic.AddInt64(&total, 1)
+		})
+	})
+	if total != 64*100 {
+		t.Fatalf("total = %d, want %d", total, 64*100)
+	}
+}
+
+func TestConcurrentParallelForCallers(t *testing.T) {
+	// Independent goroutines issuing loops at the same time: one wins the
+	// pool, the others spawn. Every loop must still cover its full range.
+	const callers = 8
+	var wg sync.WaitGroup
+	results := make([]int64, callers)
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			var total int64
+			ParallelForChunked(0, 50000, 128, 4, func(lo, hi int) {
+				atomic.AddInt64(&total, int64(hi-lo))
+			})
+			results[c] = total
+		}(c)
+	}
+	wg.Wait()
+	for c, total := range results {
+		if total != 50000 {
+			t.Fatalf("caller %d covered %d elements, want 50000", c, total)
+		}
+	}
+}
+
+func TestPooledParallelForZeroAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates")
+	}
+	var sink int64
+	body := func(lo, hi int) {
+		atomic.AddInt64(&sink, int64(hi-lo))
+	}
+	// Warm the pool.
+	ParallelForChunked(0, 1<<16, 1024, 0, body)
+	allocs := testing.AllocsPerRun(50, func() {
+		ParallelForChunked(0, 1<<16, 1024, 0, body)
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state ParallelForChunked allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestPooledParallelReduceMatchesSerial(t *testing.T) {
+	const n = 1 << 18
+	got := ParallelReduce(0, n, 512, 8, int64(0),
+		func(lo, hi int, acc int64) int64 {
+			for i := lo; i < hi; i++ {
+				acc += int64(i)
+			}
+			return acc
+		},
+		func(a, b int64) int64 { return a + b })
+	want := int64(n) * (n - 1) / 2
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestTryLoopRespectsLimit(t *testing.T) {
+	// A private pool with many workers: a loop with limit 2 must never see
+	// a worker id >= 2 even though more workers are parked.
+	p := NewPool(6)
+	defer p.Close()
+	var bad int32
+	ok := p.tryLoop(0, 1<<14, 64, 2, func(worker, lo, hi int) {
+		if worker < 0 || worker >= 2 {
+			atomic.AddInt32(&bad, 1)
+		}
+	}, nil)
+	if !ok {
+		t.Fatal("tryLoop refused an idle pool")
+	}
+	if bad != 0 {
+		t.Fatal("worker id out of [0,2)")
+	}
+}

@@ -14,6 +14,25 @@
 //   - A Pool of persistent workers with per-worker deques and random
 //     stealing, used by the engine for irregular work such as frontier
 //     expansion where chunk sizes are not known in advance.
+//
+// # Zero-allocation steady state
+//
+// The parallel-for helpers do not spawn goroutines on the hot path. They run
+// on a process-wide pool of persistent workers (DefaultPool) that park
+// between loops, exactly as the paper's Cilk runtime parks its threads
+// between parallel regions: a loop wakes the workers, the calling goroutine
+// participates as worker 0, chunks are claimed with a single atomic counter,
+// and the workers park again when the counter is exhausted. The loop
+// descriptor is a single reusable structure owned by the pool, so a
+// parallel-for call performs zero heap allocations and zero goroutine
+// creations beyond the closure its caller builds. Engines that hoist their
+// loop bodies out of the iteration loop therefore run whole iterations
+// without allocating.
+//
+// Nested or concurrent parallel-for calls cannot deadlock: the pool accepts
+// one loop at a time, and a call that finds the pool busy (including a loop
+// body that itself calls ParallelFor) falls back to a goroutine-spawning
+// path with identical semantics.
 package sched
 
 import (
@@ -52,6 +71,27 @@ func normChunk(c int) int {
 	return c
 }
 
+var (
+	defaultPoolOnce sync.Once
+	defaultPool     *Pool
+)
+
+// DefaultPool returns the process-wide persistent worker pool backing the
+// parallel-for helpers. It has MaxWorkers-1 workers because the goroutine
+// that issues a loop always participates in it, so a loop runs on exactly
+// MaxWorkers goroutines with no oversubscription. The pool is created on
+// first use and lives for the rest of the process.
+func DefaultPool() *Pool {
+	defaultPoolOnce.Do(func() {
+		w := MaxWorkers() - 1
+		if w < 1 {
+			w = 1
+		}
+		defaultPool = NewPool(w)
+	})
+	return defaultPool
+}
+
 // ParallelFor executes body(i) for every i in [begin, end) using p workers
 // (p<=0 means MaxWorkers). Iterations are distributed dynamically in chunks
 // of DefaultChunkSize so that skewed per-iteration cost (e.g. high-degree
@@ -68,7 +108,9 @@ func ParallelFor(begin, end, p int, body func(i int)) {
 // [lo, hi) covering [begin, end). Chunks are claimed with an atomic counter,
 // which behaves like a single shared work queue with chunked items: the same
 // contract as the paper's Cilk work queue. chunk<=0 selects
-// DefaultChunkSize; p<=0 selects MaxWorkers.
+// DefaultChunkSize; p<=0 selects MaxWorkers. The chunks run on the
+// persistent DefaultPool workers; no goroutines are spawned unless the pool
+// is already running another loop.
 func ParallelForChunked(begin, end, chunk, p int, body func(lo, hi int)) {
 	n := end - begin
 	if n <= 0 {
@@ -80,31 +122,10 @@ func ParallelForChunked(begin, end, chunk, p int, body func(lo, hi int)) {
 		body(begin, end)
 		return
 	}
-	numChunks := (n + chunk - 1) / chunk
-	if p > numChunks {
-		p = numChunks
+	if DefaultPool().tryLoop(begin, end, chunk, p, nil, body) {
+		return
 	}
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				c := atomic.AddInt64(&next, 1) - 1
-				if c >= int64(numChunks) {
-					return
-				}
-				lo := begin + int(c)*chunk
-				hi := lo + chunk
-				if hi > end {
-					hi = end
-				}
-				body(lo, hi)
-			}
-		}()
-	}
-	wg.Wait()
+	spawnForChunked(begin, end, chunk, p, body)
 }
 
 // ParallelForWorker is like ParallelForChunked but also passes the worker
@@ -121,6 +142,51 @@ func ParallelForWorker(begin, end, chunk, p int, body func(worker, lo, hi int)) 
 		body(0, begin, end)
 		return
 	}
+	if DefaultPool().tryLoop(begin, end, chunk, p, body, nil) {
+		return
+	}
+	spawnForWorker(begin, end, chunk, p, body)
+}
+
+// ParallelReduce runs body over chunks of [begin, end) and merges the
+// per-chunk results with merge. identity is the reduction identity. The
+// reduction order is unspecified, so merge must be associative and
+// commutative.
+func ParallelReduce[T any](begin, end, chunk, p int, identity T, body func(lo, hi int, acc T) T, merge func(a, b T) T) T {
+	n := end - begin
+	if n <= 0 {
+		return identity
+	}
+	chunk = normChunk(chunk)
+	p = normWorkers(p)
+	if p == 1 || n <= chunk {
+		return body(begin, end, identity)
+	}
+	partial := make([]T, p)
+	for i := range partial {
+		partial[i] = identity
+	}
+	ParallelForWorker(begin, end, chunk, p, func(worker, lo, hi int) {
+		partial[worker] = body(lo, hi, partial[worker])
+	})
+	out := identity
+	for _, v := range partial {
+		out = merge(out, v)
+	}
+	return out
+}
+
+// spawnForChunked is the goroutine-spawning fallback used when the
+// persistent pool is busy with another loop (nested or concurrent
+// parallel-for calls). Work distribution is identical: chunks are claimed
+// from an atomic counter.
+func spawnForChunked(begin, end, chunk, p int, body func(lo, hi int)) {
+	spawnForWorker(begin, end, chunk, p, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// spawnForWorker is the worker-indexed goroutine-spawning fallback.
+func spawnForWorker(begin, end, chunk, p int, body func(worker, lo, hi int)) {
+	n := end - begin
 	numChunks := (n + chunk - 1) / chunk
 	if p > numChunks {
 		p = numChunks
@@ -146,55 +212,6 @@ func ParallelForWorker(begin, end, chunk, p int, body func(worker, lo, hi int)) 
 		}(w)
 	}
 	wg.Wait()
-}
-
-// ParallelReduce runs body over chunks of [begin, end) and merges the
-// per-chunk results with merge. identity is the reduction identity. The
-// reduction order is unspecified, so merge must be associative and
-// commutative.
-func ParallelReduce[T any](begin, end, chunk, p int, identity T, body func(lo, hi int, acc T) T, merge func(a, b T) T) T {
-	n := end - begin
-	if n <= 0 {
-		return identity
-	}
-	chunk = normChunk(chunk)
-	p = normWorkers(p)
-	if p == 1 || n <= chunk {
-		return body(begin, end, identity)
-	}
-	numChunks := (n + chunk - 1) / chunk
-	if p > numChunks {
-		p = numChunks
-	}
-	partial := make([]T, p)
-	var next int64
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for w := 0; w < p; w++ {
-		go func(worker int) {
-			defer wg.Done()
-			acc := identity
-			for {
-				c := atomic.AddInt64(&next, 1) - 1
-				if c >= int64(numChunks) {
-					break
-				}
-				lo := begin + int(c)*chunk
-				hi := lo + chunk
-				if hi > end {
-					hi = end
-				}
-				acc = body(lo, hi, acc)
-			}
-			partial[worker] = acc
-		}(w)
-	}
-	wg.Wait()
-	out := identity
-	for _, v := range partial {
-		out = merge(out, v)
-	}
-	return out
 }
 
 // Do runs the given functions concurrently (one goroutine each) and waits
