@@ -2,12 +2,16 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json
+.PHONY: all build fmt-check vet test race bench bench-json
 
-all: vet build test
+all: fmt-check vet build test
 
 build:
 	$(GO) build ./...
+
+# Fail if any file is not gofmt-formatted (CI's Format gate).
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
 
 vet:
 	$(GO) vet ./...
@@ -19,12 +23,13 @@ race:
 	$(GO) test -race ./...
 
 # Engine benchmarks with allocation accounting: BFS and PageRank on
-# RMAT-scale-16 (the perf-trajectory acceptance configuration).
+# RMAT-scale-16 (the perf-trajectory acceptance configuration), plus the
+# out-of-core streamed PageRank.
 bench:
-	$(GO) test -run '^$$' -bench 'BFS|PageRank' -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'BFS|PageRank' -benchmem ./internal/core/ ./internal/oocore/
 
 # Archive the machine-readable perf trajectory. Bump the number when a PR
 # records a new baseline (BENCH_<pr>.json).
-BENCH_JSON ?= BENCH_1.json
+BENCH_JSON ?= BENCH_2.json
 bench-json:
 	$(GO) run ./cmd/benchrunner -perf-json $(BENCH_JSON)

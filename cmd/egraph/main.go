@@ -3,12 +3,20 @@
 // synchronization) and prints the end-to-end time breakdown — the
 // command-line face of the library's public API.
 //
+// With -store it instead executes out-of-core over a partitioned grid store
+// written by gengraph -format store: cells stream from disk through a
+// bounded memory budget while the next segments prefetch asynchronously,
+// and the breakdown additionally reports how much time stalled on storage
+// versus how much storage time the overlap hid.
+//
 // Examples:
 //
 //	egraph -algorithm bfs -generate rmat -scale 20 -layout adjacency -flow push -sync atomics
 //	egraph -algorithm pagerank -generate twitter -scale 20 -layout grid -flow pull -sync nolock
 //	egraph -algorithm sssp -input edges.txt -format text -layout adjacency
 //	egraph -algorithm wcc -generate road -scale 9 -layout edgearray
+//	egraph -algorithm pagerank -store rmat20.egs -membudget 64
+//	egraph -algorithm wcc -store rmat20u.egs -store-device ssd
 package main
 
 import (
@@ -33,19 +41,19 @@ func main() {
 		flowF     = flag.String("flow", "push", "push | pull | pushpull")
 		syncF     = flag.String("sync", "atomics", "locks | atomics | nolock")
 		prepF     = flag.String("prep", "radix", "dynamic | count | radix")
+		gridP     = flag.Int("p", 0, "grid dimension for -layout grid (0 = paper's 256, clamped for small graphs)")
 		source    = flag.Uint("source", 0, "source vertex for bfs/sssp")
 		prIters   = flag.Int("pagerank-iterations", 10, "PageRank iteration count")
 		workers   = flag.Int("workers", 0, "worker count (0 = all CPUs)")
+		storePath = flag.String("store", "", "run out-of-core over this partitioned grid store (see gengraph -format store)")
+		memBudget = flag.Int64("membudget", 0, "resident edge-buffer budget in MiB for -store runs (0 = 256)")
+		storeDev  = flag.String("store-device", "none", "virtual device pacing for -store runs: none | ssd | hdd")
 		verbose   = flag.Bool("v", false, "print per-iteration statistics")
 	)
 	flag.Parse()
 
-	g, users, err := buildGraph(*input, *format, *directed, *generate, *scale, *seed)
-	if err != nil {
-		fatal(err)
-	}
-
-	cfg := everythinggraph.Config{Workers: *workers}
+	cfg := everythinggraph.Config{Workers: *workers, GridP: *gridP, MemoryBudget: *memBudget << 20}
+	var err error
 	if cfg.Layout, err = parseLayout(*layoutF); err != nil {
 		fatal(err)
 	}
@@ -56,6 +64,23 @@ func main() {
 		fatal(err)
 	}
 	if cfg.Prep, err = parsePrep(*prepF); err != nil {
+		fatal(err)
+	}
+	if *storePath == "" {
+		// Reject impossible technique combinations before paying for
+		// generation, loading or pre-processing.
+		if err := everythinggraph.ValidateTechniques(cfg.Layout, cfg.Flow, cfg.Sync); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *storePath != "" {
+		runStore(*storePath, *algorithm, cfg, *storeDev, everythinggraph.VertexID(*source), *prIters, *verbose)
+		return
+	}
+
+	g, users, err := buildGraph(*input, *format, *directed, *generate, *scale, *seed)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -77,17 +102,70 @@ func main() {
 	fmt.Printf("configuration: layout=%v flow=%v sync=%v prep=%v\n", cfg.Layout, cfg.Flow, cfg.Sync, cfg.Prep)
 	fmt.Printf("algorithm: %s, %d iterations\n", res.Run.Algorithm, res.Run.Iterations)
 	fmt.Printf("breakdown: %s\n", res.Breakdown)
-	if *verbose {
-		for _, it := range res.Run.PerIteration {
-			mode := "push"
-			if it.UsedPull {
-				mode = "pull"
-			}
-			fmt.Printf("  iteration %3d: active=%9d mode=%s time=%v\n",
-				it.Iteration, it.ActiveVertices, mode, it.Duration)
-		}
-	}
+	printIterations(res.Run.PerIteration, *verbose)
 	printAlgorithmSummary(alg)
+}
+
+// runStore executes an algorithm out-of-core over a partitioned grid store.
+func runStore(path, algorithm string, cfg everythinggraph.Config, device string, source everythinggraph.VertexID, prIters int, verbose bool) {
+	st, err := everythinggraph.OpenStore(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer st.Close()
+
+	switch device {
+	case "none", "":
+	case "ssd":
+		st.SetDevice(everythinggraph.DeviceSSD, true)
+	case "hdd":
+		st.SetDevice(everythinggraph.DeviceHDD, true)
+	default:
+		fatal(fmt.Errorf("unknown store device %q (none | ssd | hdd)", device))
+	}
+
+	if algorithm == "wcc" && !st.Undirected() {
+		fatal(fmt.Errorf("wcc needs mirrored edges, but %s was built without -undirected (rebuild with gengraph -format store -undirected)", path))
+	}
+	alg, err := makeAlgorithm(algorithm, source, prIters, 0, nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	res, err := st.Run(alg, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("store: %s, %d vertices, %d stored edges, %dx%d grid\n",
+		path, st.NumVertices(), st.NumEdges(), st.GridP(), st.GridP())
+	fmt.Printf("configuration: out-of-core flow=%v sync=no-lock device=%s\n", cfg.Flow, device)
+	fmt.Printf("algorithm: %s, %d iterations\n", res.Run.Algorithm, res.Run.Iterations)
+	fmt.Printf("breakdown: %s\n", res.Breakdown)
+	io := st.IOStats()
+	fmt.Printf("io: %d reads, %.1f MiB, peak resident %.1f MiB\n",
+		io.Reads, float64(io.BytesRead)/(1<<20), float64(io.PeakResidentBytes)/(1<<20))
+	printIterations(res.Run.PerIteration, verbose)
+	printAlgorithmSummary(alg)
+}
+
+// printIterations prints the per-iteration table when verbose is set.
+func printIterations(iters []everythinggraph.IterationStats, verbose bool) {
+	if !verbose {
+		return
+	}
+	for _, it := range iters {
+		mode := "push"
+		if it.UsedPull {
+			mode = "pull"
+		}
+		line := fmt.Sprintf("  iteration %3d: active=%9d mode=%s time=%v",
+			it.Iteration, it.ActiveVertices, mode, it.Duration)
+		if it.IOWait > 0 {
+			line += fmt.Sprintf(" io-wait=%v", it.IOWait)
+		}
+		fmt.Println(line)
+	}
 }
 
 // buildGraph loads or generates the dataset. It returns the user count for
@@ -138,6 +216,9 @@ func makeAlgorithm(name string, source everythinggraph.VertexID, prIters, users 
 		return everythinggraph.SpMV(), nil
 	case "als":
 		if users == 0 {
+			if g == nil {
+				return nil, fmt.Errorf("als is not supported out-of-core (bipartite stores carry no user count)")
+			}
 			// Assume the first half of the vertex space is users when the
 			// dataset was loaded from a file.
 			users = g.NumVertices() / 2

@@ -38,6 +38,7 @@ import (
 	"github.com/epfl-repro/everythinggraph/internal/gen"
 	"github.com/epfl-repro/everythinggraph/internal/graph"
 	"github.com/epfl-repro/everythinggraph/internal/metrics"
+	"github.com/epfl-repro/everythinggraph/internal/oocore"
 	"github.com/epfl-repro/everythinggraph/internal/prep"
 	"github.com/epfl-repro/everythinggraph/internal/storage"
 )
@@ -64,6 +65,8 @@ type (
 	Breakdown = metrics.Breakdown
 	// IterationStats describes one engine iteration.
 	IterationStats = core.IterationStats
+	// IOStats is the storage accounting of an out-of-core (streamed) run.
+	IOStats = core.SourceStats
 )
 
 // Layout constants.
@@ -242,6 +245,10 @@ type Config struct {
 	RecordFrontiers bool
 	// PushPullAlpha overrides the direction-switch threshold denominator.
 	PushPullAlpha int
+	// MemoryBudget bounds the resident edge-buffer bytes of out-of-core
+	// (Store) runs; in-memory runs ignore it. 0 selects the default
+	// (256 MiB).
+	MemoryBudget int64
 }
 
 // Result reports one end-to-end run.
@@ -352,6 +359,102 @@ func (g *Graph) Run(alg Algorithm, cfg Config) (*Result, error) {
 	}
 	bd := prepBD
 	bd.Algorithm = res.AlgorithmTime
+	return &Result{Breakdown: bd, Run: res}, nil
+}
+
+// ValidateTechniques rejects {layout, flow, sync} combinations that no
+// dataset can run (the graph-independent rules of Section 6), so callers
+// can fail fast with one clear error before generating or loading a graph.
+func ValidateTechniques(layout Layout, flow Flow, sync Sync) error {
+	return core.ValidateTechniques(layout, flow, sync)
+}
+
+// Store is an open out-of-core partitioned grid store: the grid layout of
+// Section 5.1, resident on disk as per-cell segments and streamed through
+// a bounded memory budget during execution (see internal/oocore for the
+// format). Only vertex-level metadata is kept in memory.
+type Store struct {
+	s *oocore.Store
+}
+
+// OpenStore opens a partitioned grid store file, validating its checksums
+// and that no edge segment is truncated.
+func OpenStore(path string) (*Store, error) {
+	s, err := oocore.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &Store{s: s}, nil
+}
+
+// BuildStore writes g's edges as a partitioned grid store at path. gridP
+// follows Config.GridP semantics (0 = the paper's 256, clamped for small
+// graphs); undirected mirrors each edge into the store, which WCC requires.
+func BuildStore(path string, g *Graph, gridP int, undirected bool) error {
+	_, err := oocore.BuildStoreFromGraph(path, g.g, gridP, undirected)
+	return err
+}
+
+// Close releases the store's file handle.
+func (st *Store) Close() error { return st.s.Close() }
+
+// NumVertices returns the store's vertex count.
+func (st *Store) NumVertices() int { return st.s.NumVertices() }
+
+// NumEdges returns the number of stored edge records (doubled for
+// undirected stores).
+func (st *Store) NumEdges() int64 { return st.s.NumEdges() }
+
+// GridP returns the store's grid dimension.
+func (st *Store) GridP() int { return st.s.GridP() }
+
+// Undirected reports whether edges were mirrored into the store.
+func (st *Store) Undirected() bool { return st.s.Undirected() }
+
+// SetDevice attaches a virtual-bandwidth device model (DeviceSSD,
+// DeviceHDD) to the store. Reads always account the simulated device time;
+// with pace set they also sleep on a shared virtual clock, so the overlap
+// between prefetching and compute reproduces the paper's storage
+// experiments in wall-clock time.
+func (st *Store) SetDevice(d Device, pace bool) { st.s.SetDevice(d, pace) }
+
+// IOStats returns the store's cumulative storage accounting.
+func (st *Store) IOStats() IOStats { return st.s.Stats() }
+
+// Run executes alg out-of-core over the store's streamed cells. Streamed
+// execution is the grid layout under partition-free column scheduling —
+// the only discipline whose ownership argument survives cells arriving
+// from disk — so cfg.Layout and cfg.Sync are ignored and forced to
+// LayoutGrid and SyncPartitionFree; Flow (push, pull or the switching
+// combination), Workers, MemoryBudget and the iteration caps are honoured.
+// The breakdown reports how much of the algorithm time stalled on storage
+// and how much storage time the prefetch overlap hid.
+func (st *Store) Run(alg Algorithm, cfg Config) (*Result, error) {
+	engineCfg := core.Config{
+		Layout:          LayoutGrid,
+		Flow:            cfg.Flow,
+		Sync:            SyncPartitionFree,
+		Workers:         cfg.Workers,
+		PushPullAlpha:   cfg.PushPullAlpha,
+		MaxIterations:   cfg.MaxIterations,
+		RecordFrontiers: cfg.RecordFrontiers,
+		MemoryBudget:    cfg.MemoryBudget,
+	}
+	before := st.s.Stats()
+	res, err := core.RunStreamed(st.s, alg, engineCfg)
+	if err != nil {
+		return nil, err
+	}
+	io := res.IO.Sub(before)
+	hidden := io.IOTime - io.IOWait
+	if hidden < 0 {
+		hidden = 0
+	}
+	bd := Breakdown{
+		Algorithm: res.AlgorithmTime,
+		IOWait:    io.IOWait,
+		IOHidden:  hidden,
+	}
 	return &Result{Breakdown: bd, Run: res}, nil
 }
 

@@ -1,0 +1,73 @@
+// Outofcore: demonstrates the disk-resident grid store — the grid layout
+// of Section 5.1 extended beyond RAM. The example partitions an RMAT graph
+// into an on-disk store, runs PageRank both in memory (grid layout,
+// partition-free) and out-of-core under a small resident budget, verifies
+// the results are bit-identical, and prints the I/O-wait vs. overlap
+// accounting that extends the paper's end-to-end breakdown to storage.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	everythinggraph "github.com/epfl-repro/everythinggraph"
+)
+
+func main() {
+	const scale = 16
+	g := everythinggraph.GenerateRMAT(scale, 16, 11)
+	fmt.Printf("dataset: %d vertices, %d edges (%.0f MB on disk)\n\n",
+		g.NumVertices(), g.NumEdges(), float64(g.NumEdges())*12/1e6)
+
+	// In-memory reference: the grid layout with partition-free columns.
+	prMem := everythinggraph.PageRank()
+	memRes, err := g.Run(prMem, everythinggraph.Config{
+		Layout: everythinggraph.LayoutGrid,
+		Flow:   everythinggraph.FlowPush,
+		Sync:   everythinggraph.SyncPartitionFree,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("in-memory grid:   %s\n", memRes.Breakdown)
+
+	// Partition the same edges into a disk store and stream them back
+	// under a 16 MiB resident-edge budget.
+	dir, err := os.MkdirTemp("", "egraph-example")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "rmat.egs")
+	if err := everythinggraph.BuildStore(path, g, 0, false); err != nil {
+		log.Fatal(err)
+	}
+	st, err := everythinggraph.OpenStore(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer st.Close()
+
+	prOOC := everythinggraph.PageRank()
+	oocRes, err := st.Run(prOOC, everythinggraph.Config{
+		Flow:         everythinggraph.FlowPush,
+		MemoryBudget: 16 << 20,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("out-of-core grid: %s\n", oocRes.Breakdown)
+
+	io := st.IOStats()
+	fmt.Printf("streamed %.0f MB in %d reads over %d passes, peak resident %.1f MiB\n",
+		float64(io.BytesRead)/1e6, io.Reads, io.Passes, float64(io.PeakResidentBytes)/(1<<20))
+
+	for v := range prMem.Rank {
+		if prMem.Rank[v] != prOOC.Rank[v] {
+			log.Fatalf("rank[%d] differs: %v in-memory vs %v out-of-core", v, prMem.Rank[v], prOOC.Rank[v])
+		}
+	}
+	fmt.Println("\nall ranks bit-identical to the in-memory run ✓")
+}

@@ -20,12 +20,13 @@ type PageRank struct {
 	// Rank holds the current rank of every vertex.
 	Rank []float64
 
-	n       int
-	acc     []uint64  // accumulated contributions, float64 bits (atomic mode)
-	contrib []float64 // rank[u]/outdeg[u] snapshot taken before each iteration
-	outDeg  []uint32
-	base    float64 // (1-Damping)/n, read by afterBody
-	workers int     // hook parallelism (0 = all CPUs), set by the engine
+	n         int
+	acc       []uint64  // accumulated contributions, float64 bits (atomic mode)
+	contrib   []float64 // rank[u]/outdeg[u] snapshot taken before each iteration
+	outDeg    []uint32
+	presetDeg []uint32 // degrees supplied by a streamed engine (see SetOutDegrees)
+	base      float64  // (1-Damping)/n, read by afterBody
+	workers   int      // hook parallelism (0 = all CPUs), set by the engine
 
 	// Loop bodies bound once in Init so the per-iteration hooks allocate
 	// nothing in steady state.
@@ -49,6 +50,13 @@ func (pr *PageRank) Name() string { return "pagerank" }
 // worker-scaling experiments measure what they claim to.
 func (pr *PageRank) SetWorkers(p int) { pr.workers = p }
 
+// SetOutDegrees supplies the per-vertex out-degree table ahead of Init, for
+// out-of-core execution where no resident edge array exists to derive it
+// from (the streamed engine reads the table from the store's metadata). The
+// slice is retained, not copied; it must count the edges as stored — i.e.
+// already doubled for mirrored (undirected) stores.
+func (pr *PageRank) SetOutDegrees(deg []uint32) { pr.presetDeg = deg }
+
 // Dense implements Algorithm: every vertex is active every iteration.
 func (pr *PageRank) Dense() bool { return true }
 
@@ -64,14 +72,18 @@ func (pr *PageRank) Init(g *graph.Graph) {
 	pr.Rank = make([]float64, pr.n)
 	pr.acc = make([]uint64, pr.n)
 	pr.contrib = make([]float64, pr.n)
-	pr.outDeg = g.EdgeArray.OutDegrees()
-	if !g.Directed {
-		// On undirected datasets each stored edge is traversed in both
-		// directions, so the effective out-degree of a vertex is its total
-		// degree.
-		in := g.EdgeArray.InDegrees()
-		for v := range pr.outDeg {
-			pr.outDeg[v] += in[v]
+	if pr.presetDeg != nil {
+		pr.outDeg = pr.presetDeg
+	} else {
+		pr.outDeg = g.EdgeArray.OutDegrees()
+		if !g.Directed {
+			// On undirected datasets each stored edge is traversed in both
+			// directions, so the effective out-degree of a vertex is its
+			// total degree.
+			in := g.EdgeArray.InDegrees()
+			for v := range pr.outDeg {
+				pr.outDeg[v] += in[v]
+			}
 		}
 	}
 	initial := 1.0 / float64(pr.n)

@@ -39,12 +39,12 @@ var MachineA = Config{SizeBytes: 20 << 20, Ways: 20}
 // which matches the inclusive LLC behaviour relevant to the miss-ratio
 // measurements.
 type Cache struct {
-	sets    int
-	ways    int
-	lines   []uint64 // sets*ways line tags, LRU-ordered within each set (index 0 = MRU)
-	valid   []bool
-	hits    uint64
-	misses  uint64
+	sets   int
+	ways   int
+	lines  []uint64 // sets*ways line tags, LRU-ordered within each set (index 0 = MRU)
+	valid  []bool
+	hits   uint64
+	misses uint64
 }
 
 // New creates a cache from a configuration. The set count is derived from

@@ -56,12 +56,12 @@ func TestCacheLRUEviction(t *testing.T) {
 	if c.Sets() != 1 {
 		t.Fatalf("expected a single set, got %d", c.Sets())
 	}
-	c.Access(0*LineSize, 1)   // miss, cache: {0}
-	c.Access(1*LineSize, 1)   // miss, cache: {1,0}
-	c.Access(0*LineSize, 1)   // hit,  cache: {0,1}
-	c.Access(2*LineSize, 1)   // miss, evicts 1, cache: {2,0}
-	c.Access(1*LineSize, 1)   // miss (evicted)
-	c.Access(0*LineSize, 1)   // 0 was evicted by the previous miss? No: {1,2} -> miss
+	c.Access(0*LineSize, 1) // miss, cache: {0}
+	c.Access(1*LineSize, 1) // miss, cache: {1,0}
+	c.Access(0*LineSize, 1) // hit,  cache: {0,1}
+	c.Access(2*LineSize, 1) // miss, evicts 1, cache: {2,0}
+	c.Access(1*LineSize, 1) // miss (evicted)
+	c.Access(0*LineSize, 1) // 0 was evicted by the previous miss? No: {1,2} -> miss
 	if c.Hits() != 1 {
 		t.Fatalf("hits = %d, want exactly 1", c.Hits())
 	}

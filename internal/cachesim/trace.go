@@ -78,9 +78,9 @@ func traceDynamicBuild(c *Cache, space *AddressSpace, edgeBase uint64, edges []g
 	cursor := make([]uint32, numVertices)
 
 	for i, e := range edges {
-		c.Access(edgeBase+uint64(i)*edgeBytes, edgeBytes)                    // read input edge (sequential)
-		c.Access(headerBase+uint64(e.Src)*headerBytes, headerBytes)          // read/update array header (random)
-		c.Access(arrayBase[e.Src]+uint64(cursor[e.Src])*idBytes, idBytes)    // append target id (random array)
+		c.Access(edgeBase+uint64(i)*edgeBytes, edgeBytes)                 // read input edge (sequential)
+		c.Access(headerBase+uint64(e.Src)*headerBytes, headerBytes)       // read/update array header (random)
+		c.Access(arrayBase[e.Src]+uint64(cursor[e.Src])*idBytes, idBytes) // append target id (random array)
 		cursor[e.Src]++
 	}
 }

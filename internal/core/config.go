@@ -98,6 +98,10 @@ type Config struct {
 	// RecordFrontiers stores a copy of each iteration's active vertex list
 	// in the result, for NUMA analysis (Section 7).
 	RecordFrontiers bool
+	// MemoryBudget bounds the resident edge-buffer bytes of streamed
+	// (out-of-core) execution; it is ignored by in-memory runs. 0 selects
+	// the source's default.
+	MemoryBudget int64
 }
 
 // IterationStats describes one iteration of a run.
@@ -114,6 +118,9 @@ type IterationStats struct {
 	UsedPull bool
 	// Duration is the wall-clock time of the iteration.
 	Duration time.Duration
+	// IOWait is the time compute stalled on storage during this iteration
+	// (zero for in-memory runs; see RunStreamed).
+	IOWait time.Duration
 }
 
 // Result reports a run.
@@ -131,18 +138,47 @@ type Result struct {
 	// Config.RecordFrontiers is set (nil entries for whole-graph
 	// iterations of dense algorithms).
 	FrontierHistory [][]graph.VertexID
+	// IO is the cumulative storage accounting of the run's source (zero
+	// for in-memory runs; see RunStreamed).
+	IO SourceStats
+}
+
+// ValidateTechniques checks the graph-independent consistency of a
+// {layout, flow, sync} combination — the rules of Section 6 that hold for
+// every dataset. CLIs call it before paying for generation or loading, so
+// an impossible combination fails with one clear line instead of surfacing
+// deep inside a run.
+func ValidateTechniques(layout graph.Layout, flow Flow, sync SyncMode) error {
+	switch layout {
+	case graph.LayoutEdgeArray:
+		if sync == SyncPartitionFree {
+			return fmt.Errorf("core: edge arrays cannot run without synchronization (no destination ownership); use locks or atomics")
+		}
+		if flow == PushPull {
+			return fmt.Errorf("core: push-pull switching is meaningless on edge arrays (every iteration scans all edges)")
+		}
+	case graph.LayoutAdjacency, graph.LayoutAdjacencySorted:
+		if flow == Push && sync == SyncPartitionFree {
+			return fmt.Errorf("core: push on adjacency lists requires locks or atomics (destinations are not partitioned)")
+		}
+	case graph.LayoutGrid:
+		// Every flow/sync combination has a grid path.
+	default:
+		return fmt.Errorf("core: unknown layout %v", layout)
+	}
+	return nil
 }
 
 // Validate checks that the configuration is consistent with the graph's
 // materialized layouts and with the synchronization rules of Section 6.
 func (cfg Config) Validate(g *graph.Graph) error {
+	if err := ValidateTechniques(cfg.Layout, cfg.Flow, cfg.Sync); err != nil {
+		return err
+	}
 	switch cfg.Layout {
 	case graph.LayoutEdgeArray:
 		if g.EdgeArray == nil {
 			return fmt.Errorf("core: graph has no edge array")
-		}
-		if cfg.Sync == SyncPartitionFree {
-			return fmt.Errorf("core: edge arrays cannot run without synchronization (no destination ownership); use locks or atomics")
 		}
 	case graph.LayoutAdjacency, graph.LayoutAdjacencySorted:
 		needOut := cfg.Flow == Push || cfg.Flow == PushPull
@@ -153,18 +189,10 @@ func (cfg Config) Validate(g *graph.Graph) error {
 		if needIn && g.In == nil && g.Directed {
 			return fmt.Errorf("core: %v/%v requires incoming adjacency lists on directed graphs (run prep.BuildAdjacency with direction In or InOut)", cfg.Layout, cfg.Flow)
 		}
-		if cfg.Flow == Push && cfg.Sync == SyncPartitionFree {
-			return fmt.Errorf("core: push on adjacency lists requires locks or atomics (destinations are not partitioned)")
-		}
 	case graph.LayoutGrid:
 		if g.Grid == nil {
 			return fmt.Errorf("core: grid layout requested but not built (run prep.BuildGrid)")
 		}
-	default:
-		return fmt.Errorf("core: unknown layout %v", cfg.Layout)
-	}
-	if cfg.Flow == PushPull && cfg.Layout == graph.LayoutEdgeArray {
-		return fmt.Errorf("core: push-pull switching is meaningless on edge arrays (every iteration scans all edges)")
 	}
 	return nil
 }

@@ -523,16 +523,5 @@ func (r *runner) runCellPullLocks(worker int, cell []graph.Edge) {
 }
 
 func (r *runner) runCellPullPlain(worker int, cell []graph.Edge) {
-	alg, b, bits := r.alg, r.builder, r.bits
-	for _, e := range cell {
-		if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
-			continue
-		}
-		if !alg.PullActive(e.Dst) {
-			continue
-		}
-		if alg.PushEdge(e.Src, e.Dst, e.W) && b != nil {
-			b.Add(worker, e.Dst)
-		}
-	}
+	r.runCellPullOwned(worker, cell)
 }

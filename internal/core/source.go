@@ -1,0 +1,298 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
+)
+
+// This file is the engine's out-of-core entry point: a Source streams grid
+// cells from somewhere that is not a resident edge slice (a partitioned
+// store file, see internal/oocore), and RunStreamed executes an algorithm
+// over those streamed cells with the grid's partition-free column
+// scheduling, never materializing more than the source's buffer budget.
+
+// StreamOptions bounds one streamed pass over a source.
+type StreamOptions struct {
+	// Workers is the number of compute workers (column owners).
+	Workers int
+	// MemoryBudget bounds the bytes of resident edge buffers across all
+	// workers (raw segment bytes plus decoded edges). 0 selects the
+	// source's default.
+	MemoryBudget int64
+}
+
+// SourceStats is the cumulative I/O accounting of a source. The engine
+// diffs it around passes to attribute I/O wait per iteration.
+type SourceStats struct {
+	// Passes counts completed streamed passes (one per engine iteration).
+	Passes int64
+	// Reads counts segment reads issued to the backend.
+	Reads int64
+	// BytesRead is the total bytes fetched from the backend.
+	BytesRead int64
+	// IOTime is the total time spent fetching and decoding segments,
+	// including any virtual-device pacing; reads overlap compute, so this
+	// can exceed the wall-clock of the pass.
+	IOTime time.Duration
+	// IOWait is the time compute workers actually stalled waiting for a
+	// prefetched segment — the part of IOTime the overlap failed to hide.
+	IOWait time.Duration
+	// SimulatedLoad is the virtual-clock device time for the bytes read
+	// (zero unless a device model is attached to the source).
+	SimulatedLoad time.Duration
+	// PeakResidentBytes is the high-water mark of concurrently resident
+	// edge-buffer bytes, the quantity bounded by MemoryBudget.
+	PeakResidentBytes int64
+}
+
+// Sub returns s - o field-wise (peak is kept, not differenced).
+func (s SourceStats) Sub(o SourceStats) SourceStats {
+	return SourceStats{
+		Passes:            s.Passes - o.Passes,
+		Reads:             s.Reads - o.Reads,
+		BytesRead:         s.BytesRead - o.BytesRead,
+		IOTime:            s.IOTime - o.IOTime,
+		IOWait:            s.IOWait - o.IOWait,
+		SimulatedLoad:     s.SimulatedLoad - o.SimulatedLoad,
+		PeakResidentBytes: s.PeakResidentBytes,
+	}
+}
+
+// Source streams the cells of a disk-resident partitioned graph. It is the
+// out-of-core counterpart of graph.Grid: same P x P cell structure, same
+// row-major segment order, but cells are fetched on demand instead of
+// sliced from a resident edge array.
+type Source interface {
+	// NumVertices is the vertex count of the dataset.
+	NumVertices() int
+	// NumEdges is the number of stored edge records.
+	NumEdges() int64
+	// GridP is the grid dimension.
+	GridP() int
+	// Undirected reports whether edges were mirrored into the store (the
+	// out-of-core counterpart of prep's Undirected doubling).
+	Undirected() bool
+	// OutDegrees returns the per-vertex out-degree table over the stored
+	// edges — the vertex metadata algorithms such as PageRank need at init.
+	// The returned slice is shared and must not be modified.
+	OutDegrees() []uint32
+	// StreamCells runs one full pass over every cell. Columns are
+	// partitioned among workers and every cell of a column is visited by
+	// that column's worker in ascending row order, so all updates to a
+	// destination happen on one worker in a deterministic order — the
+	// partition-free ownership argument of Section 6.1.2, which also makes
+	// streamed results bit-identical to the in-memory grid path. A visit
+	// slice may span several cells of the worker's columns (coalesced
+	// sequential reads) or a fraction of one cell (budget-bounded slices);
+	// only the per-column row order is guaranteed. The slice passed to
+	// visit is only valid during the call.
+	StreamCells(opt StreamOptions, visit func(worker int, edges []graph.Edge)) error
+	// Stats returns the cumulative I/O accounting.
+	Stats() SourceStats
+}
+
+// degreePreset is implemented by algorithms (PageRank) that normally derive
+// per-vertex degrees from the resident edge array and must instead accept
+// them from the store's metadata.
+type degreePreset interface {
+	SetOutDegrees([]uint32)
+}
+
+// RunStreamed executes alg over the streamed cells of src, the out-of-core
+// analogue of Run's grid path. Only the partition-free discipline is
+// supported: column ownership is what lets a streamed cell be applied
+// without synchronization, so cfg.Sync must be SyncPartitionFree and
+// cfg.Layout must be LayoutGrid. Flow may be Push, Pull or PushPull (the
+// switch uses the same active-vertex heuristic as the in-memory grid).
+// Vertex state (algorithm arrays, frontiers, degree table) stays resident;
+// edge data never exceeds the source's buffer budget.
+func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
+	if cfg.Layout != graph.LayoutGrid {
+		return nil, fmt.Errorf("core: streamed execution runs over grid cells; layout must be grid, not %v", cfg.Layout)
+	}
+	if cfg.Sync != SyncPartitionFree {
+		return nil, fmt.Errorf("core: streamed execution relies on column ownership and supports only sync=no-lock, not %v", cfg.Sync)
+	}
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = sched.MaxWorkers()
+	}
+	alpha := cfg.PushPullAlpha
+	if alpha <= 0 {
+		alpha = DefaultPushPullAlpha
+	}
+
+	// The algorithms' Init/InitialFrontier only consult vertex-level
+	// metadata, so a graph shim with an empty edge array serves them.
+	// Directed is true regardless of the store's flag: mirrored stores
+	// already carry both directions, exactly like a grid built with prep's
+	// Undirected doubling.
+	shim := graph.New(nil, src.NumVertices(), true)
+	if dp, ok := alg.(degreePreset); ok {
+		dp.SetOutDegrees(src.OutDegrees())
+	}
+	if wb, ok := alg.(WorkerBound); ok {
+		wb.SetWorkers(workers)
+	}
+	alg.Init(shim)
+	frontier := alg.InitialFrontier(shim)
+	res := &Result{Algorithm: alg.Name()}
+
+	r := newStreamRunner(src, alg, workers)
+	n := src.NumVertices()
+	opt := StreamOptions{Workers: workers, MemoryBudget: cfg.MemoryBudget}
+
+	start := time.Now()
+	for iter := 0; ; iter++ {
+		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
+			break
+		}
+		if !alg.Dense() && frontier.IsEmpty() {
+			break
+		}
+
+		alg.BeforeIteration(iter)
+		iterStart := time.Now()
+		before := src.Stats()
+
+		stats := IterationStats{
+			Iteration:      iter,
+			ActiveVertices: frontier.Count(),
+			ActiveEdges:    -1,
+		}
+		flow := cfg.Flow
+		if flow == PushPull {
+			// Same heuristic as the in-memory grid: no per-vertex out index
+			// is resident, so the switch compares active vertices to
+			// |V|/alpha.
+			if frontier.Count() > n/alpha {
+				flow = Pull
+			} else {
+				flow = Push
+			}
+		}
+		stats.UsedPull = flow == Pull
+
+		next, err := r.step(frontier, flow == Pull, opt)
+		if err != nil {
+			return nil, err
+		}
+
+		stats.Duration = time.Since(iterStart)
+		stats.IOWait = src.Stats().Sub(before).IOWait
+		res.PerIteration = append(res.PerIteration, stats)
+		res.Iterations++
+
+		converged := alg.AfterIteration(iter)
+		if !alg.Dense() {
+			frontier = next
+		}
+		if converged {
+			break
+		}
+	}
+	res.AlgorithmTime = time.Since(start)
+	res.IO = src.Stats()
+	return res, nil
+}
+
+// streamRunner owns the per-run state of a streamed execution: the
+// double-buffered frontier builders (same discipline as the in-memory
+// runner) and the push/pull visit bodies, bound once so the per-iteration
+// loop allocates nothing of its own.
+type streamRunner struct {
+	src     Source
+	alg     Algorithm
+	workers int
+	track   bool
+
+	builders [2]*graph.FrontierBuilder
+	fronts   [2]graph.Frontier
+	flip     int
+
+	builder *graph.FrontierBuilder
+	bits    []uint64
+
+	numVertices int
+	visitPush   func(worker int, edges []graph.Edge)
+	visitPull   func(worker int, edges []graph.Edge)
+}
+
+func newStreamRunner(src Source, alg Algorithm, workers int) *streamRunner {
+	r := &streamRunner{
+		src:         src,
+		alg:         alg,
+		workers:     workers,
+		track:       !alg.Dense(),
+		numVertices: src.NumVertices(),
+	}
+	// The bodies mirror runCellPushOwned / runCellPullOwned: column
+	// ownership makes the plain destination update race-free, and the
+	// builder guard covers dense algorithms (nil builder).
+	r.visitPush = func(worker int, edges []graph.Edge) {
+		alg, b, bits := r.alg, r.builder, r.bits
+		for _, e := range edges {
+			if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
+				continue
+			}
+			if alg.PushEdge(e.Src, e.Dst, e.W) && b != nil {
+				b.Add(worker, e.Dst)
+			}
+		}
+	}
+	r.visitPull = func(worker int, edges []graph.Edge) {
+		alg, b, bits := r.alg, r.builder, r.bits
+		for _, e := range edges {
+			if bits[e.Src>>6]&(1<<(e.Src&63)) == 0 {
+				continue
+			}
+			if !alg.PullActive(e.Dst) {
+				continue
+			}
+			if changed, _ := alg.PullEdge(e.Dst, e.Src, e.W); changed && b != nil {
+				b.Add(worker, e.Dst)
+			}
+		}
+	}
+	return r
+}
+
+// nextBuilder mirrors runner.nextBuilder: double-buffered, reset-and-reuse.
+func (r *streamRunner) nextBuilder() *graph.FrontierBuilder {
+	if !r.track {
+		return nil
+	}
+	b := r.builders[r.flip]
+	if b == nil {
+		b = graph.NewFrontierBuilder(r.numVertices, r.workers)
+		r.builders[r.flip] = b
+	} else {
+		b.Reset()
+	}
+	r.builder = b
+	return b
+}
+
+// step runs one streamed pass and returns the next frontier (nil for dense
+// algorithms).
+func (r *streamRunner) step(frontier *graph.Frontier, pullMode bool, opt StreamOptions) (*graph.Frontier, error) {
+	r.bits = frontier.Bitmap()
+	b := r.nextBuilder()
+	visit := r.visitPush
+	if pullMode {
+		visit = r.visitPull
+	}
+	if err := r.src.StreamCells(opt, visit); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, nil
+	}
+	f := b.CollectInto(&r.fronts[r.flip])
+	r.flip = 1 - r.flip
+	r.builder = nil
+	return f, nil
+}

@@ -73,21 +73,41 @@ func RMAT(opt RMATOptions) *graph.Graph {
 	if workers <= 0 {
 		workers = sched.MaxWorkers()
 	}
-	sched.ParallelForWorker(0, m, 1<<14, workers, func(worker, lo, hi int) {
-		// Every chunk gets an independent deterministic stream derived from
-		// the seed and the chunk start, so the output does not depend on
-		// scheduling.
+	sched.ParallelForWorker(0, m, rmatChunk, workers, func(worker, lo, hi int) {
+		fillRMATRange(edges[lo:hi], lo, opt)
+	})
+	return graph.New(edges, n, true)
+}
+
+// rmatChunk is the RMAT generation granularity: every generator path —
+// parallel materializing, serial fallback, streaming — seeds an independent
+// rng per rmatChunk-aligned chunk, which makes the output identical edge
+// for edge regardless of worker count, scheduling, or streaming.
+const rmatChunk = 1 << 14
+
+// fillRMATRange deterministically generates the RMAT edges with indices
+// [lo, lo+len(dst)) into dst. lo must be rmatChunk-aligned; the range may
+// span several chunks (a single-worker run covers the whole edge set in
+// one call) and is reseeded at every chunk boundary so the sequence never
+// depends on how the range was split.
+func fillRMATRange(dst []graph.Edge, lo int, opt RMATOptions) {
+	for len(dst) > 0 {
+		n := rmatChunk
+		if n > len(dst) {
+			n = len(dst)
+		}
 		rng := rand.New(rand.NewSource(opt.Seed ^ int64(uint64(lo)*0x9e3779b97f4a7c15)))
-		for i := lo; i < hi; i++ {
-			src, dst := rmatEdge(rng, opt.Scale, opt.Params)
+		for i := 0; i < n; i++ {
+			src, dstV := rmatEdge(rng, opt.Scale, opt.Params)
 			w := graph.Weight(1)
 			if opt.Weighted {
 				w = graph.Weight(1 + rng.Intn(63))
 			}
-			edges[i] = graph.Edge{Src: src, Dst: dst, W: w}
+			dst[i] = graph.Edge{Src: src, Dst: dstV, W: w}
 		}
-	})
-	return graph.New(edges, n, true)
+		dst = dst[n:]
+		lo += n
+	}
 }
 
 // rmatEdge draws one edge by descending the recursive matrix Scale times.

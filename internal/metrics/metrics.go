@@ -26,6 +26,17 @@ type Breakdown struct {
 	Partition time.Duration
 	// Algorithm is the algorithm execution time.
 	Algorithm time.Duration
+	// IOWait is worker time stalled on storage during out-of-core
+	// (streamed) execution: the storage time prefetching failed to hide.
+	// It is summed across workers (several can stall concurrently), so it
+	// may exceed the Algorithm wall time; it annotates Algorithm rather
+	// than adding to the total.
+	IOWait time.Duration
+	// IOHidden is storage time that WAS hidden behind compute by the
+	// prefetch overlap — the out-of-core counterpart of the loading/
+	// pre-processing overlap of Section 3.4. Purely informational; it
+	// never contributes to the total.
+	IOHidden time.Duration
 }
 
 // Total returns the end-to-end time.
@@ -40,6 +51,8 @@ func (b Breakdown) Add(o Breakdown) Breakdown {
 		Preprocess: b.Preprocess + o.Preprocess,
 		Partition:  b.Partition + o.Partition,
 		Algorithm:  b.Algorithm + o.Algorithm,
+		IOWait:     b.IOWait + o.IOWait,
+		IOHidden:   b.IOHidden + o.IOHidden,
 	}
 }
 
@@ -51,6 +64,8 @@ func (b Breakdown) Scale(f float64) Breakdown {
 		Preprocess: time.Duration(float64(b.Preprocess) * f),
 		Partition:  time.Duration(float64(b.Partition) * f),
 		Algorithm:  time.Duration(float64(b.Algorithm) * f),
+		IOWait:     time.Duration(float64(b.IOWait) * f),
+		IOHidden:   time.Duration(float64(b.IOHidden) * f),
 	}
 }
 
@@ -66,6 +81,9 @@ func (b Breakdown) String() string {
 		fmt.Fprintf(&sb, "part=%v ", b.Partition.Round(time.Millisecond))
 	}
 	fmt.Fprintf(&sb, "algo=%v total=%v", b.Algorithm.Round(time.Millisecond), b.Total().Round(time.Millisecond))
+	if b.IOWait > 0 || b.IOHidden > 0 {
+		fmt.Fprintf(&sb, " io-wait=%v io-hidden=%v", b.IOWait.Round(time.Millisecond), b.IOHidden.Round(time.Millisecond))
+	}
 	return sb.String()
 }
 

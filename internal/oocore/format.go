@@ -1,0 +1,374 @@
+// Package oocore extends the grid layout (Section 5.1) beyond RAM: a graph
+// is partitioned into the same P x P grid of cells the in-memory engine
+// iterates, but the cells live in a disk file and are streamed through a
+// bounded set of buffers while the algorithm runs. The package provides
+//
+//   - an on-disk partitioned format: a checksummed header, the cell index,
+//     a per-vertex out-degree table (the vertex metadata an out-of-core run
+//     keeps resident), and the per-cell edge segments in row-major order;
+//   - a bounded-memory two-pass builder that partitions an edge stream into
+//     the format without ever materializing the full edge slice;
+//   - a streaming executor (see prefetch.go) that feeds grid cells to the
+//     engine's partition-free column scheduling while asynchronously
+//     prefetching the next segments, so I/O overlaps compute exactly as the
+//     loading/pre-processing overlap of Sections 3.4-3.5 overlaps the
+//     in-memory pipeline.
+package oocore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/storage"
+)
+
+// Format constants. The store file is laid out as
+//
+//	[ header (48 bytes, CRC-protected) ]
+//	[ metadata: cell index ((P*P+1) x uint64), out-degrees (V x uint32) ]
+//	[ edge data: numEdges x 12-byte records, cells in row-major order ]
+//
+// All integers are little-endian. Edge records use the same encoding as the
+// flat binary edge format (src uint32, dst uint32, weight float32 bits), so
+// a cell segment is itself a valid flat edge file.
+const (
+	// Magic identifies a partitioned grid store.
+	Magic = "EGRIDST1"
+	// FormatVersion is bumped on incompatible layout changes.
+	FormatVersion = 1
+	// headerSize is the fixed byte size of the header block.
+	headerSize = 48
+	// flagUndirected marks a store whose edges were mirrored at build time
+	// (each input edge stored in both directions), as required by WCC.
+	flagUndirected = 1 << 0
+)
+
+// Header is the decoded fixed-size store header.
+type Header struct {
+	// NumVertices is the vertex count of the dataset.
+	NumVertices int
+	// NumEdges is the number of stored edge records (after any mirroring).
+	NumEdges int64
+	// P is the grid dimension; the file holds P*P cell segments.
+	P int
+	// RangeSize is the vertex-id width of each grid range.
+	RangeSize int
+	// Undirected reports whether edges were mirrored at build time.
+	Undirected bool
+}
+
+// metaSize returns the byte size of the metadata block for a header.
+func (h Header) metaSize() int64 {
+	return int64(h.P*h.P+1)*8 + int64(h.NumVertices)*4
+}
+
+// dataOffset returns the file offset of the first edge record.
+func (h Header) dataOffset() int64 { return headerSize + h.metaSize() }
+
+// encodeHeader serializes the header fields (CRC slots zeroed; the caller
+// fills them after hashing).
+func encodeHeader(h Header) []byte {
+	buf := make([]byte, headerSize)
+	copy(buf[0:8], Magic)
+	binary.LittleEndian.PutUint32(buf[8:12], FormatVersion)
+	var flags uint32
+	if h.Undirected {
+		flags |= flagUndirected
+	}
+	binary.LittleEndian.PutUint32(buf[12:16], flags)
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(h.NumVertices))
+	binary.LittleEndian.PutUint64(buf[24:32], uint64(h.NumEdges))
+	binary.LittleEndian.PutUint32(buf[32:36], uint32(h.P))
+	binary.LittleEndian.PutUint32(buf[36:40], uint32(h.RangeSize))
+	// buf[40:44] metaCRC, buf[44:48] headerCRC: filled by the writer.
+	return buf
+}
+
+// decodeHeader parses and sanity-checks the fixed header block. It returns
+// the header plus the stored metadata CRC.
+func decodeHeader(buf []byte) (Header, uint32, error) {
+	var h Header
+	if len(buf) < headerSize {
+		return h, 0, fmt.Errorf("oocore: store header truncated (%d bytes)", len(buf))
+	}
+	if string(buf[0:8]) != Magic {
+		return h, 0, fmt.Errorf("oocore: bad magic %q (not a partitioned grid store)", buf[0:8])
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:12]); v != FormatVersion {
+		return h, 0, fmt.Errorf("oocore: unsupported store version %d (want %d)", v, FormatVersion)
+	}
+	headerCRC := binary.LittleEndian.Uint32(buf[44:48])
+	if crc32.ChecksumIEEE(buf[0:44]) != headerCRC {
+		return h, 0, fmt.Errorf("oocore: header checksum mismatch (corrupt store)")
+	}
+	flags := binary.LittleEndian.Uint32(buf[12:16])
+	h.Undirected = flags&flagUndirected != 0
+	h.NumVertices = int(binary.LittleEndian.Uint64(buf[16:24]))
+	h.NumEdges = int64(binary.LittleEndian.Uint64(buf[24:32]))
+	h.P = int(binary.LittleEndian.Uint32(buf[32:36]))
+	h.RangeSize = int(binary.LittleEndian.Uint32(buf[36:40]))
+	if h.NumVertices < 0 || h.NumEdges < 0 || h.P <= 0 || h.RangeSize <= 0 {
+		return h, 0, fmt.Errorf("oocore: header has non-positive dimensions (v=%d e=%d p=%d range=%d)",
+			h.NumVertices, h.NumEdges, h.P, h.RangeSize)
+	}
+	metaCRC := binary.LittleEndian.Uint32(buf[40:44])
+	return h, metaCRC, nil
+}
+
+// Stream is a restartable edge stream: invoking it runs one full pass over
+// the dataset, delivering bounded chunks to yield in a fixed order. The
+// builder runs the stream twice (histogram pass, scatter pass), so the
+// stream must produce the same edges on every invocation — true for files
+// and for deterministic generators. The chunk slice is only valid during
+// the yield call.
+type Stream func(yield func(chunk []graph.Edge) error) error
+
+// SliceStream adapts an in-memory edge slice to a Stream, delivering it in
+// chunks of the given size (<=0 selects 64K edges).
+func SliceStream(edges []graph.Edge, chunk int) Stream {
+	if chunk <= 0 {
+		chunk = 1 << 16
+	}
+	return func(yield func([]graph.Edge) error) error {
+		for lo := 0; lo < len(edges); lo += chunk {
+			hi := lo + chunk
+			if hi > len(edges) {
+				hi = len(edges)
+			}
+			if err := yield(edges[lo:hi]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// BuildOptions configures BuildStore.
+type BuildOptions struct {
+	// NumVertices is the vertex count (required; streams cannot be re-run a
+	// third time just to discover it).
+	NumVertices int
+	// GridP requests a grid dimension (0 = the paper's 256, clamped for
+	// small graphs exactly like the in-memory grid).
+	GridP int
+	// Undirected mirrors every non-self-loop edge into the store, the
+	// counterpart of prep's Undirected doubling (needed by WCC).
+	Undirected bool
+	// ScatterBudget bounds the write-buffer memory of the scatter pass in
+	// bytes (0 = 32 MiB). Each cell owns a small append buffer flushed with
+	// positioned writes, so building never holds the edge set in memory.
+	ScatterBudget int64
+}
+
+// defaultScatterBudget is the scatter-pass write-buffer budget (32 MiB).
+const defaultScatterBudget = 32 << 20
+
+// BuildStore partitions the edge stream into a grid store at path. It runs
+// the stream twice: the first pass histograms edges per cell and accumulates
+// out-degrees, the second scatters each edge to its cell's file segment
+// through bounded per-cell buffers. Peak memory is O(P*P + V) plus the
+// scatter budget, independent of the edge count.
+func BuildStore(path string, opt BuildOptions, stream Stream) (Header, error) {
+	var h Header
+	if opt.NumVertices <= 0 {
+		return h, fmt.Errorf("oocore: BuildStore requires a positive NumVertices")
+	}
+	p := graph.GridPFor(opt.NumVertices, opt.GridP)
+	rangeSize := (opt.NumVertices + p - 1) / p
+	if rangeSize == 0 {
+		rangeSize = 1
+	}
+	numCells := p * p
+	n := graph.VertexID(opt.NumVertices)
+
+	cellOf := func(e graph.Edge) int {
+		return (int(e.Src)/rangeSize)*p + int(e.Dst)/rangeSize
+	}
+
+	// Pass 1: per-cell histogram and out-degree accumulation.
+	counts := make([]uint64, numCells)
+	degrees := make([]uint32, opt.NumVertices)
+	var numEdges int64
+	count := func(e graph.Edge) error {
+		if e.Src >= n || e.Dst >= n {
+			return fmt.Errorf("oocore: edge %d->%d out of range (numVertices=%d)", e.Src, e.Dst, opt.NumVertices)
+		}
+		counts[cellOf(e)]++
+		degrees[e.Src]++
+		numEdges++
+		return nil
+	}
+	err := stream(func(chunk []graph.Edge) error {
+		for _, e := range chunk {
+			if err := count(e); err != nil {
+				return err
+			}
+			if opt.Undirected && e.Src != e.Dst {
+				if err := count(graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return h, err
+	}
+
+	h = Header{
+		NumVertices: opt.NumVertices,
+		NumEdges:    numEdges,
+		P:           p,
+		RangeSize:   rangeSize,
+		Undirected:  opt.Undirected,
+	}
+
+	// Cell index: exclusive prefix sum over the histogram.
+	cellIndex := make([]uint64, numCells+1)
+	var running uint64
+	for c := 0; c < numCells; c++ {
+		cellIndex[c] = running
+		running += counts[c]
+	}
+	cellIndex[numCells] = running
+
+	f, err := os.Create(path)
+	if err != nil {
+		return h, fmt.Errorf("oocore: create store: %w", err)
+	}
+	defer f.Close()
+
+	if err := writeHeaderAndMeta(f, h, cellIndex, degrees); err != nil {
+		return h, err
+	}
+
+	// Pass 2: scatter edges to their cell segments through bounded buffers.
+	if err := scatterEdges(f, h, cellIndex, opt, stream, cellOf); err != nil {
+		return h, err
+	}
+	if err := f.Sync(); err != nil {
+		return h, fmt.Errorf("oocore: sync store: %w", err)
+	}
+	return h, f.Close()
+}
+
+// writeHeaderAndMeta writes the checksummed header followed by the metadata
+// block (cell index, degrees).
+func writeHeaderAndMeta(w io.WriteSeeker, h Header, cellIndex []uint64, degrees []uint32) error {
+	meta := make([]byte, h.metaSize())
+	off := 0
+	for _, v := range cellIndex {
+		binary.LittleEndian.PutUint64(meta[off:], v)
+		off += 8
+	}
+	for _, d := range degrees {
+		binary.LittleEndian.PutUint32(meta[off:], d)
+		off += 4
+	}
+	hdr := encodeHeader(h)
+	binary.LittleEndian.PutUint32(hdr[40:44], crc32.ChecksumIEEE(meta))
+	binary.LittleEndian.PutUint32(hdr[44:48], crc32.ChecksumIEEE(hdr[0:44]))
+	if _, err := w.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("oocore: seek: %w", err)
+	}
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("oocore: write header: %w", err)
+	}
+	if _, err := w.Write(meta); err != nil {
+		return fmt.Errorf("oocore: write metadata: %w", err)
+	}
+	return nil
+}
+
+// scatterEdges runs the second build pass: every edge is appended to its
+// cell's bounded buffer, and full buffers are flushed to the cell's current
+// file position with WriteAt.
+func scatterEdges(f *os.File, h Header, cellIndex []uint64, opt BuildOptions, stream Stream, cellOf func(graph.Edge) int) error {
+	numCells := h.P * h.P
+	budget := opt.ScatterBudget
+	if budget <= 0 {
+		budget = defaultScatterBudget
+	}
+	bufEdges := int(budget / int64(numCells) / storage.EdgeBytes)
+	if bufEdges < 4 {
+		bufEdges = 4
+	}
+	dataOff := h.dataOffset()
+
+	// Per-cell state: the next edge slot to write and a small append buffer.
+	cursor := make([]uint64, numCells)
+	copy(cursor, cellIndex[:numCells])
+	bufs := make([][]byte, numCells)
+
+	flush := func(cell int) error {
+		b := bufs[cell]
+		if len(b) == 0 {
+			return nil
+		}
+		n := uint64(len(b) / storage.EdgeBytes)
+		off := dataOff + int64(cursor[cell])*storage.EdgeBytes
+		if _, err := f.WriteAt(b, off); err != nil {
+			return fmt.Errorf("oocore: scatter write: %w", err)
+		}
+		cursor[cell] += n
+		bufs[cell] = b[:0]
+		return nil
+	}
+	put := func(e graph.Edge) error {
+		cell := cellOf(e)
+		b := bufs[cell]
+		if b == nil {
+			b = make([]byte, 0, bufEdges*storage.EdgeBytes)
+		}
+		var rec [storage.EdgeBytes]byte
+		binary.LittleEndian.PutUint32(rec[0:4], e.Src)
+		binary.LittleEndian.PutUint32(rec[4:8], e.Dst)
+		binary.LittleEndian.PutUint32(rec[8:12], weightBits(e.W))
+		bufs[cell] = append(b, rec[:]...)
+		if len(bufs[cell]) == cap(bufs[cell]) {
+			return flush(cell)
+		}
+		return nil
+	}
+	err := stream(func(chunk []graph.Edge) error {
+		for _, e := range chunk {
+			if err := put(e); err != nil {
+				return err
+			}
+			if opt.Undirected && e.Src != e.Dst {
+				if err := put(graph.Edge{Src: e.Dst, Dst: e.Src, W: e.W}); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for cell := 0; cell < numCells; cell++ {
+		if err := flush(cell); err != nil {
+			return err
+		}
+		if cursor[cell] != cellIndex[cell+1] {
+			return fmt.Errorf("oocore: scatter pass wrote %d edges into cell %d, histogram pass counted %d (stream not restartable?)",
+				cursor[cell]-cellIndex[cell], cell, cellIndex[cell+1]-cellIndex[cell])
+		}
+	}
+	return nil
+}
+
+// BuildStoreFromGraph writes a store for an in-memory graph's edge array, a
+// convenience for converters and tests. gridP and undirected follow
+// BuildOptions semantics.
+func BuildStoreFromGraph(path string, g *graph.Graph, gridP int, undirected bool) (Header, error) {
+	return BuildStore(path, BuildOptions{
+		NumVertices: g.NumVertices(),
+		GridP:       gridP,
+		Undirected:  undirected,
+	}, SliceStream(g.EdgeArray.Edges, 0))
+}

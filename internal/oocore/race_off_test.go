@@ -1,0 +1,8 @@
+//go:build !race
+
+package oocore
+
+// raceEnabled reports whether the race detector is compiled in; the
+// acceptance-scale identity test is skipped under -race because the
+// instrumented RMAT-20 run would dominate the whole suite.
+const raceEnabled = false

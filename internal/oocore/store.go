@@ -1,0 +1,299 @@
+package oocore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/core"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/storage"
+)
+
+// Backend is the random-access substrate a store reads segments from: a
+// real file, or an in-memory image in tests.
+type Backend interface {
+	io.ReaderAt
+}
+
+// Store is an open partitioned grid store. It keeps only the vertex-level
+// metadata resident (header, cell index, degree table — O(P*P + V)); edge
+// segments are fetched on demand by StreamCells through bounded buffers.
+// Store implements core.Source.
+type Store struct {
+	backend Backend
+	closer  io.Closer
+	header  Header
+
+	cellIndex []uint64 // P*P+1 edge offsets into the data area
+	degrees   []uint32 // per-vertex out-degrees over the stored edges
+	colEdges  []uint64 // per-column edge totals (for worker balancing)
+	dataOff   int64
+
+	// Virtual device model: when dev has bandwidth, reads account (and with
+	// pace also sleep) N/bandwidth seconds of device time on a shared
+	// virtual clock, reproducing the paper's SSD/HDD experiments without
+	// the hardware.
+	dev  storage.Device
+	pace bool
+	// devReserved is the shared virtual device clock (nanoseconds of device
+	// time reserved since devBase): concurrent reads serialize on it, so
+	// paced throughput matches the single device's bandwidth no matter how
+	// many prefetchers are in flight.
+	devReserved atomic.Int64
+	devBase     time.Time
+	devOnce     sync.Once
+
+	stats sourceStats
+}
+
+// sourceStats holds the atomic counters behind core.SourceStats.
+type sourceStats struct {
+	passes        atomic.Int64
+	reads         atomic.Int64
+	bytesRead     atomic.Int64
+	ioTimeNanos   atomic.Int64
+	ioWaitNanos   atomic.Int64
+	simLoadNanos  atomic.Int64
+	residentBytes atomic.Int64
+	peakResident  atomic.Int64
+}
+
+// addResident tracks the high-water mark of resident buffer bytes.
+func (s *sourceStats) addResident(delta int64) {
+	now := s.residentBytes.Add(delta)
+	for {
+		peak := s.peakResident.Load()
+		if now <= peak || s.peakResident.CompareAndSwap(peak, now) {
+			return
+		}
+	}
+}
+
+// Open opens a store file, validating the header checksum, the metadata
+// checksum and that the file holds exactly the edge records the cell index
+// promises (truncated stores are rejected here, before any run starts).
+func Open(path string) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("oocore: open store: %w", err)
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("oocore: stat store: %w", err)
+	}
+	s, err := NewStore(f, info.Size())
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// NewStore opens a store from any random-access backend of the given total
+// size, performing the same validation as Open.
+func NewStore(backend Backend, size int64) (*Store, error) {
+	hdr := make([]byte, headerSize)
+	if _, err := readFullAt(backend, hdr, 0); err != nil {
+		return nil, fmt.Errorf("oocore: read store header: %w", err)
+	}
+	h, metaCRC, err := decodeHeader(hdr)
+	if err != nil {
+		return nil, err
+	}
+	meta := make([]byte, h.metaSize())
+	if _, err := readFullAt(backend, meta, headerSize); err != nil {
+		return nil, fmt.Errorf("oocore: read store metadata: %w", err)
+	}
+	if crc32.ChecksumIEEE(meta) != metaCRC {
+		return nil, fmt.Errorf("oocore: metadata checksum mismatch (corrupt store)")
+	}
+
+	s := &Store{backend: backend, header: h, dataOff: h.dataOffset()}
+	numCells := h.P * h.P
+	s.cellIndex = make([]uint64, numCells+1)
+	off := 0
+	for i := range s.cellIndex {
+		s.cellIndex[i] = binary.LittleEndian.Uint64(meta[off:])
+		off += 8
+	}
+	s.degrees = make([]uint32, h.NumVertices)
+	for i := range s.degrees {
+		s.degrees[i] = binary.LittleEndian.Uint32(meta[off:])
+		off += 4
+	}
+
+	// Structural validation: monotone index covering exactly NumEdges, and
+	// a file large enough to hold every promised record.
+	for c := 0; c < numCells; c++ {
+		if s.cellIndex[c] > s.cellIndex[c+1] {
+			return nil, fmt.Errorf("oocore: cell index not monotone at cell %d", c)
+		}
+	}
+	if s.cellIndex[0] != 0 || s.cellIndex[numCells] != uint64(h.NumEdges) {
+		return nil, fmt.Errorf("oocore: cell index covers %d edges, header promises %d",
+			s.cellIndex[numCells], h.NumEdges)
+	}
+	if want := s.dataOff + h.NumEdges*storage.EdgeBytes; size < want {
+		return nil, fmt.Errorf("oocore: store truncated: %d bytes, need %d (%d edge records)",
+			size, want, h.NumEdges)
+	}
+
+	// Per-column edge totals, used to balance column ownership.
+	s.colEdges = make([]uint64, h.P)
+	for row := 0; row < h.P; row++ {
+		for col := 0; col < h.P; col++ {
+			idx := row*h.P + col
+			s.colEdges[col] += s.cellIndex[idx+1] - s.cellIndex[idx]
+		}
+	}
+	return s, nil
+}
+
+// readFullAt reads len(buf) bytes at off, treating any shortfall as an
+// error.
+func readFullAt(r io.ReaderAt, buf []byte, off int64) (int, error) {
+	n, err := r.ReadAt(buf, off)
+	if n == len(buf) {
+		return n, nil
+	}
+	if err == nil || err == io.EOF {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+// Close releases the backing file (no-op for memory backends).
+func (s *Store) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// SetDevice attaches a virtual-bandwidth device model. Every segment read
+// accounts LoadTime(bytes) of simulated device time; with pace also set,
+// reads additionally sleep until the shared virtual device clock catches
+// up, so SSD/HDD overlap experiments reproduce in wall-clock time.
+func (s *Store) SetDevice(dev storage.Device, pace bool) {
+	s.dev = dev
+	s.pace = pace
+}
+
+// Header returns the decoded store header.
+func (s *Store) Header() Header { return s.header }
+
+// NumVertices implements core.Source.
+func (s *Store) NumVertices() int { return s.header.NumVertices }
+
+// NumEdges implements core.Source.
+func (s *Store) NumEdges() int64 { return s.header.NumEdges }
+
+// GridP implements core.Source.
+func (s *Store) GridP() int { return s.header.P }
+
+// Undirected implements core.Source.
+func (s *Store) Undirected() bool { return s.header.Undirected }
+
+// OutDegrees implements core.Source. The slice is shared; callers must not
+// modify it.
+func (s *Store) OutDegrees() []uint32 { return s.degrees }
+
+// Stats implements core.Source.
+func (s *Store) Stats() core.SourceStats {
+	return core.SourceStats{
+		Passes:            s.stats.passes.Load(),
+		Reads:             s.stats.reads.Load(),
+		BytesRead:         s.stats.bytesRead.Load(),
+		IOTime:            time.Duration(s.stats.ioTimeNanos.Load()),
+		IOWait:            time.Duration(s.stats.ioWaitNanos.Load()),
+		SimulatedLoad:     time.Duration(s.stats.simLoadNanos.Load()),
+		PeakResidentBytes: s.stats.peakResident.Load(),
+	}
+}
+
+// ReadCell reads one cell's edges into dst (grown as needed) — the
+// segment-by-segment access path used by tools and tests; streamed
+// execution goes through StreamCells instead.
+func (s *Store) ReadCell(row, col int, dst []graph.Edge) ([]graph.Edge, error) {
+	if row < 0 || row >= s.header.P || col < 0 || col >= s.header.P {
+		return nil, fmt.Errorf("oocore: cell (%d,%d) outside %dx%d grid", row, col, s.header.P, s.header.P)
+	}
+	idx := row*s.header.P + col
+	lo, hi := s.cellIndex[idx], s.cellIndex[idx+1]
+	n := int(hi - lo)
+	if cap(dst) < n {
+		dst = make([]graph.Edge, n)
+	}
+	dst = dst[:n]
+	if n == 0 {
+		return dst, nil
+	}
+	raw := make([]byte, n*storage.EdgeBytes)
+	if err := s.readSegment(raw, int64(lo), dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
+}
+
+// readSegment fetches the records [edgeOff, edgeOff+len(dst)) into raw and
+// decodes them into dst, applying device accounting.
+func (s *Store) readSegment(raw []byte, edgeOff int64, dst []graph.Edge) error {
+	t0 := time.Now()
+	if _, err := readFullAt(s.backend, raw, s.dataOff+edgeOff*storage.EdgeBytes); err != nil {
+		return fmt.Errorf("oocore: read segment at edge %d: %w", edgeOff, err)
+	}
+	for i := range dst {
+		rec := raw[i*storage.EdgeBytes:]
+		dst[i] = graph.Edge{
+			Src: binary.LittleEndian.Uint32(rec[0:4]),
+			Dst: binary.LittleEndian.Uint32(rec[4:8]),
+			W:   weightFromBits(binary.LittleEndian.Uint32(rec[8:12])),
+		}
+	}
+	s.stats.reads.Add(1)
+	s.stats.bytesRead.Add(int64(len(raw)))
+	if s.dev.BandwidthMBps > 0 {
+		sim := s.dev.LoadTime(int64(len(raw)))
+		s.stats.simLoadNanos.Add(int64(sim))
+		if s.pace {
+			s.paceSleep(sim)
+		}
+	}
+	s.stats.ioTimeNanos.Add(int64(time.Since(t0)))
+	return nil
+}
+
+// paceSleep reserves sim nanoseconds on the shared virtual device clock and
+// sleeps until the reservation's end. Reservations never start before "now"
+// (an idle device does not bank bandwidth) and never overlap (a busy device
+// serves one read at a time).
+func (s *Store) paceSleep(sim time.Duration) {
+	s.devOnce.Do(func() { s.devBase = time.Now() })
+	for {
+		cur := s.devReserved.Load()
+		start := cur
+		if nowOff := int64(time.Since(s.devBase)); nowOff > start {
+			start = nowOff
+		}
+		end := start + int64(sim)
+		if !s.devReserved.CompareAndSwap(cur, end) {
+			continue
+		}
+		if d := time.Until(s.devBase.Add(time.Duration(end))); d > 0 {
+			time.Sleep(d)
+		}
+		return
+	}
+}
+
+func weightBits(w graph.Weight) uint32     { return math.Float32bits(float32(w)) }
+func weightFromBits(b uint32) graph.Weight { return graph.Weight(math.Float32frombits(b)) }

@@ -1,0 +1,103 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+)
+
+// Edge cases of the overlap model (Sections 3.4-3.5): empty streams, final
+// short chunks, and streams whose length is an exact chunk multiple.
+
+func TestLoadOverlappedEmptyStream(t *testing.T) {
+	res, err := LoadOverlapped(bytes.NewReader(nil), SSD, 16, func(chunk []graph.Edge) {
+		t.Error("consumer called on empty stream")
+	})
+	if err != nil {
+		t.Fatalf("LoadOverlapped: %v", err)
+	}
+	if len(res.Edges) != 0 || res.Chunks != 0 {
+		t.Fatalf("empty stream produced %d edges in %d chunks", len(res.Edges), res.Chunks)
+	}
+	if res.LoadTime != 0 || res.ConsumeTime != 0 || res.EndToEnd != 0 {
+		t.Fatalf("empty stream produced nonzero times: %+v", res)
+	}
+}
+
+func TestLoadOverlappedFinalShortChunk(t *testing.T) {
+	// 10 edges with chunk size 3: three full chunks and a short final one.
+	edges := randomEdges(30, 10, 3)
+	var sizes []int
+	res, err := LoadOverlapped(encodeEdges(t, edges), HDD, 3, func(chunk []graph.Edge) {
+		sizes = append(sizes, len(chunk))
+	})
+	if err != nil {
+		t.Fatalf("LoadOverlapped: %v", err)
+	}
+	if res.Chunks != 4 {
+		t.Fatalf("chunks = %d, want 4", res.Chunks)
+	}
+	want := []int{3, 3, 3, 1}
+	for i, s := range sizes {
+		if s != want[i] {
+			t.Fatalf("chunk sizes = %v, want %v", sizes, want)
+		}
+	}
+	if len(res.Edges) != 10 {
+		t.Fatalf("loaded %d edges, want 10", len(res.Edges))
+	}
+}
+
+func TestLoadOverlappedExactChunkMultiple(t *testing.T) {
+	// 12 edges with chunk size 4: the stream ends exactly at a chunk
+	// boundary; no empty trailing chunk may be emitted.
+	edges := randomEdges(50, 12, 4)
+	var sizes []int
+	res, err := LoadOverlapped(encodeEdges(t, edges), SSD, 4, func(chunk []graph.Edge) {
+		sizes = append(sizes, len(chunk))
+	})
+	if err != nil {
+		t.Fatalf("LoadOverlapped: %v", err)
+	}
+	if res.Chunks != 3 {
+		t.Fatalf("chunks = %d, want exactly 3 (no empty trailing chunk)", res.Chunks)
+	}
+	for _, s := range sizes {
+		if s != 4 {
+			t.Fatalf("chunk sizes = %v, want all 4", sizes)
+		}
+	}
+	if res.LoadTime != SSD.EdgeLoadTime(12) {
+		t.Fatalf("load time = %v, want %v", res.LoadTime, SSD.EdgeLoadTime(12))
+	}
+	if res.EndToEnd < res.LoadTime {
+		t.Fatalf("end-to-end %v below pure load time %v", res.EndToEnd, res.LoadTime)
+	}
+}
+
+func TestLoadOverlappedSingleEdge(t *testing.T) {
+	edges := randomEdges(5, 1, 6)
+	res, err := LoadOverlapped(encodeEdges(t, edges), Memory, DefaultLoadChunk, nil)
+	if err != nil {
+		t.Fatalf("LoadOverlapped: %v", err)
+	}
+	if len(res.Edges) != 1 || res.Chunks != 1 {
+		t.Fatalf("single-edge stream: %d edges, %d chunks", len(res.Edges), res.Chunks)
+	}
+}
+
+func TestEndToEndPrepZeroWork(t *testing.T) {
+	// Degenerate overlap inputs: zero load, zero compute, both zero.
+	if got := EndToEndPrep(0, 0, prep.Dynamic, 100); got != 0 {
+		t.Fatalf("zero work took %v", got)
+	}
+	if got := EndToEndPrep(time.Second, 0, prep.RadixSort, 100); got != time.Second {
+		t.Fatalf("pure load took %v, want 1s", got)
+	}
+	if got := EndToEndPrep(0, time.Second, prep.CountSort, 100); got != time.Second {
+		t.Fatalf("pure compute took %v, want 1s", got)
+	}
+}

@@ -121,18 +121,41 @@ func EndToEndPrep(load, prepCompute time.Duration, method prep.Method, numVertic
 	return overlapped + rest
 }
 
-// WriteBinary writes edges in the fixed-size little-endian binary format
-// (src uint32, dst uint32, weight float32 bits).
-func WriteBinary(w io.Writer, edges []graph.Edge) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
+// BinaryWriter incrementally encodes edges in the fixed-size binary format
+// through a single reused buffer, so callers can stream a graph chunk by
+// chunk without re-buffering per chunk (gengraph's scale-24+ path).
+type BinaryWriter struct {
+	bw *bufio.Writer
+}
+
+// NewBinaryWriter wraps w for incremental binary edge output.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{bw: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// Write appends a batch of edges.
+func (w *BinaryWriter) Write(edges []graph.Edge) error {
 	var buf [EdgeBytes]byte
 	for _, e := range edges {
 		binary.LittleEndian.PutUint32(buf[0:4], e.Src)
 		binary.LittleEndian.PutUint32(buf[4:8], e.Dst)
 		binary.LittleEndian.PutUint32(buf[8:12], weightBits(e.W))
-		if _, err := bw.Write(buf[:]); err != nil {
+		if _, err := w.bw.Write(buf[:]); err != nil {
 			return fmt.Errorf("storage: write edge: %w", err)
 		}
+	}
+	return nil
+}
+
+// Flush drains the buffer to the underlying writer.
+func (w *BinaryWriter) Flush() error { return w.bw.Flush() }
+
+// WriteBinary writes edges in the fixed-size little-endian binary format
+// (src uint32, dst uint32, weight float32 bits).
+func WriteBinary(w io.Writer, edges []graph.Edge) error {
+	bw := NewBinaryWriter(w)
+	if err := bw.Write(edges); err != nil {
+		return err
 	}
 	return bw.Flush()
 }
@@ -161,16 +184,37 @@ func ReadBinary(r io.Reader) ([]graph.Edge, error) {
 	}
 }
 
-// WriteText writes edges as whitespace-separated "src dst weight" lines,
-// the interchange format accepted by most graph frameworks.
-func WriteText(w io.Writer, edges []graph.Edge) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
+// TextWriter is the text-format counterpart of BinaryWriter.
+type TextWriter struct {
+	bw *bufio.Writer
+}
+
+// NewTextWriter wraps w for incremental text edge output.
+func NewTextWriter(w io.Writer) *TextWriter {
+	return &TextWriter{bw: bufio.NewWriterSize(w, 1<<20)}
+}
+
+// Write appends a batch of edges as "src dst weight" lines.
+func (w *TextWriter) Write(edges []graph.Edge) error {
 	for _, e := range edges {
-		if _, err := fmt.Fprintf(bw, "%d %d %g\n", e.Src, e.Dst, e.W); err != nil {
+		if _, err := fmt.Fprintf(w.bw, "%d %d %g\n", e.Src, e.Dst, e.W); err != nil {
 			return fmt.Errorf("storage: write edge: %w", err)
 		}
 	}
-	return bw.Flush()
+	return nil
+}
+
+// Flush drains the buffer to the underlying writer.
+func (w *TextWriter) Flush() error { return w.bw.Flush() }
+
+// WriteText writes edges as whitespace-separated "src dst weight" lines,
+// the interchange format accepted by most graph frameworks.
+func WriteText(w io.Writer, edges []graph.Edge) error {
+	tw := NewTextWriter(w)
+	if err := tw.Write(edges); err != nil {
+		return err
+	}
+	return tw.Flush()
 }
 
 // ReadText reads whitespace-separated edge lines. Lines may contain two
@@ -215,5 +259,5 @@ func ReadText(r io.Reader) ([]graph.Edge, error) {
 	return edges, nil
 }
 
-func weightBits(w graph.Weight) uint32    { return float32bits(float32(w)) }
+func weightBits(w graph.Weight) uint32     { return float32bits(float32(w)) }
 func weightFromBits(b uint32) graph.Weight { return graph.Weight(float32frombits(b)) }
