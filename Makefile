@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-json
+.PHONY: all build fmt-check vet test race bench bench-adaptive bench-json
 
 all: fmt-check vet build test
 
@@ -28,8 +28,15 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench 'BFS|PageRank' -benchmem ./internal/core/ ./internal/oocore/
 
+# Adaptive-planner cases only: auto BFS/PageRank against their fixed
+# counterparts (the fixed-vs-auto comparison of the acceptance criterion),
+# plus the per-iteration plan traces.
+bench-adaptive:
+	$(GO) test -run '^$$' -bench 'Auto|PushPull|PullIter' -benchmem ./internal/core/
+	$(GO) run ./cmd/benchrunner -plan-trace
+
 # Archive the machine-readable perf trajectory. Bump the number when a PR
 # records a new baseline (BENCH_<pr>.json).
-BENCH_JSON ?= BENCH_2.json
+BENCH_JSON ?= BENCH_3.json
 bench-json:
 	$(GO) run ./cmd/benchrunner -perf-json $(BENCH_JSON)

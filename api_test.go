@@ -275,3 +275,49 @@ func TestWorkersConfigRespected(t *testing.T) {
 		}
 	}
 }
+
+func TestFlowAutoThroughFacade(t *testing.T) {
+	g := GenerateRMAT(12, 8, 1)
+	bfs := BFS(0)
+	// The bare config — no Layout (zero value is LayoutEdgeArray) — is the
+	// advertised "one entry point": it must still prepare adjacency lists
+	// so the planner has real choices instead of being stranded on the
+	// edge array.
+	res, err := g.Run(bfs, Config{Flow: FlowAuto})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Run.Iterations == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	if g.Internal().Out == nil || g.Internal().In == nil {
+		t.Fatal("auto must prepare both adjacency directions")
+	}
+	if res.Breakdown.Preprocess <= 0 {
+		t.Fatal("auto's adjacency build must be accounted as pre-processing")
+	}
+	zero := StepPlan{}
+	sawAdjacency := false
+	for i, it := range res.Run.PerIteration {
+		if it.Plan == zero {
+			t.Fatalf("iteration %d recorded no plan", i)
+		}
+		if it.Plan.Layout == LayoutAdjacency {
+			sawAdjacency = true
+		}
+	}
+	if !sawAdjacency {
+		t.Fatal("planner never used the adjacency lists prepared for it")
+	}
+	if trace := res.Run.PlanTrace(); len(trace) != res.Run.Iterations {
+		t.Fatalf("plan trace %d entries, want %d", len(trace), res.Run.Iterations)
+	}
+
+	// The validation gap: an alpha on a static flow must surface an error
+	// through the facade instead of being silently ignored.
+	if _, err := g.Run(BFS(0), Config{
+		Layout: LayoutAdjacency, Flow: FlowPush, Sync: SyncAtomics, PushPullAlpha: 20,
+	}); err == nil {
+		t.Fatal("PushPullAlpha with a static flow must be rejected")
+	}
+}

@@ -10,6 +10,7 @@
 //	benchrunner -list                          # list experiment ids
 //	benchrunner -experiment fig9 -rmat-scale 22
 //	benchrunner -perf-json BENCH_1.json        # archive the perf trajectory
+//	benchrunner -plan-trace                    # print adaptive plan traces
 package main
 
 import (
@@ -33,6 +34,7 @@ func main() {
 		seed        = flag.Int64("seed", bench.Default.Seed, "dataset generation seed")
 		quick       = flag.Bool("quick", false, "use the small quick scale (for smoke runs)")
 		perfJSON    = flag.String("perf-json", "", "run the perf trajectory suite (RMAT-scale-16 engine microbenchmarks) and write the JSON report to this path instead of running experiments")
+		planTrace   = flag.Bool("plan-trace", false, "run the adaptive (-flow auto) cases once and print their per-iteration plan traces instead of running experiments")
 	)
 	flag.Parse()
 
@@ -66,6 +68,26 @@ func main() {
 		}
 		if !flagPassed("pagerank-iterations") {
 			scale.PagerankIterations = bench.Quick.PagerankIterations
+		}
+	}
+
+	if *planTrace {
+		// Same default scale rule as the perf suite: the adaptive
+		// acceptance configuration is RMAT-scale-16.
+		traceScale := scale
+		if !flagPassed("rmat-scale") {
+			traceScale.RMATScale = 16
+		}
+		traces, err := bench.PlanTraces(traceScale)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: plan trace failed: %v\n", err)
+			os.Exit(1)
+		}
+		for _, tr := range traces {
+			fmt.Printf("%-24s %2d iterations  %s\n", tr.Name, tr.Iterations, tr.PlanTrace)
+		}
+		if *perfJSON == "" {
+			return
 		}
 	}
 

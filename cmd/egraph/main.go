@@ -12,6 +12,7 @@
 // Examples:
 //
 //	egraph -algorithm bfs -generate rmat -scale 20 -layout adjacency -flow push -sync atomics
+//	egraph -algorithm bfs -generate rmat -scale 20 -flow auto -v
 //	egraph -algorithm pagerank -generate twitter -scale 20 -layout grid -flow pull -sync nolock
 //	egraph -algorithm sssp -input edges.txt -format text -layout adjacency
 //	egraph -algorithm wcc -generate road -scale 9 -layout edgearray
@@ -26,6 +27,7 @@ import (
 	"strings"
 
 	everythinggraph "github.com/epfl-repro/everythinggraph"
+	"github.com/epfl-repro/everythinggraph/internal/metrics"
 )
 
 func main() {
@@ -38,7 +40,7 @@ func main() {
 		scale     = flag.Int("scale", 18, "log2 of the vertex count for generated graphs")
 		seed      = flag.Int64("seed", 42, "generator seed")
 		layoutF   = flag.String("layout", "adjacency", "edgearray | adjacency | adjacency-sorted | grid")
-		flowF     = flag.String("flow", "push", "push | pull | pushpull")
+		flowF     = flag.String("flow", "push", "push | pull | pushpull | auto (adaptive planner)")
 		syncF     = flag.String("sync", "atomics", "locks | atomics | nolock")
 		prepF     = flag.String("prep", "radix", "dynamic | count | radix")
 		gridP     = flag.Int("p", 0, "grid dimension for -layout grid (0 = paper's 256, clamped for small graphs)")
@@ -102,6 +104,9 @@ func main() {
 	fmt.Printf("configuration: layout=%v flow=%v sync=%v prep=%v\n", cfg.Layout, cfg.Flow, cfg.Sync, cfg.Prep)
 	fmt.Printf("algorithm: %s, %d iterations\n", res.Run.Algorithm, res.Run.Iterations)
 	fmt.Printf("breakdown: %s\n", res.Breakdown)
+	if cfg.Flow == everythinggraph.FlowAuto {
+		fmt.Printf("plan trace: %s\n", metrics.CompressPlanTrace(res.Run.PlanTrace()))
+	}
 	printIterations(res.Run.PerIteration, *verbose)
 	printAlgorithmSummary(alg)
 }
@@ -142,6 +147,9 @@ func runStore(path, algorithm string, cfg everythinggraph.Config, device string,
 	fmt.Printf("configuration: out-of-core flow=%v sync=no-lock device=%s\n", cfg.Flow, device)
 	fmt.Printf("algorithm: %s, %d iterations\n", res.Run.Algorithm, res.Run.Iterations)
 	fmt.Printf("breakdown: %s\n", res.Breakdown)
+	if cfg.Flow == everythinggraph.FlowAuto {
+		fmt.Printf("plan trace: %s\n", metrics.CompressPlanTrace(res.Run.PlanTrace()))
+	}
 	io := st.IOStats()
 	fmt.Printf("io: %d reads, %.1f MiB, peak resident %.1f MiB\n",
 		io.Reads, float64(io.BytesRead)/(1<<20), float64(io.PeakResidentBytes)/(1<<20))
@@ -155,12 +163,8 @@ func printIterations(iters []everythinggraph.IterationStats, verbose bool) {
 		return
 	}
 	for _, it := range iters {
-		mode := "push"
-		if it.UsedPull {
-			mode = "pull"
-		}
-		line := fmt.Sprintf("  iteration %3d: active=%9d mode=%s time=%v",
-			it.Iteration, it.ActiveVertices, mode, it.Duration)
+		line := fmt.Sprintf("  iteration %3d: active=%9d plan=%s time=%v",
+			it.Iteration, it.ActiveVertices, it.Plan, it.Duration)
 		if it.IOWait > 0 {
 			line += fmt.Sprintf(" io-wait=%v", it.IOWait)
 		}
@@ -264,6 +268,8 @@ func parseFlow(s string) (everythinggraph.Flow, error) {
 		return everythinggraph.FlowPull, nil
 	case "pushpull", "push-pull":
 		return everythinggraph.FlowPushPull, nil
+	case "auto", "adaptive":
+		return everythinggraph.FlowAuto, nil
 	default:
 		return 0, fmt.Errorf("unknown flow %q", s)
 	}

@@ -33,6 +33,8 @@ func TestParseFlow(t *testing.T) {
 		"pull":      everythinggraph.FlowPull,
 		"pushpull":  everythinggraph.FlowPushPull,
 		"push-pull": everythinggraph.FlowPushPull,
+		"auto":      everythinggraph.FlowAuto,
+		"adaptive":  everythinggraph.FlowAuto,
 	}
 	for in, want := range cases {
 		got, err := parseFlow(in)

@@ -65,6 +65,9 @@ type (
 	Breakdown = metrics.Breakdown
 	// IterationStats describes one engine iteration.
 	IterationStats = core.IterationStats
+	// StepPlan is the resolved {layout, flow, sync} recipe one iteration
+	// ran under; adaptive runs record one per iteration.
+	StepPlan = core.StepPlan
 	// IOStats is the storage accounting of an out-of-core (streamed) run.
 	IOStats = core.SourceStats
 )
@@ -90,6 +93,11 @@ const (
 	FlowPull = core.Pull
 	// FlowPushPull switches per iteration (direction-optimizing).
 	FlowPushPull = core.PushPull
+	// FlowAuto hands direction, layout and synchronization to the adaptive
+	// execution planner, which picks per iteration among the layouts
+	// materialized on the graph using density thresholds and measured
+	// costs. Config.Layout and Config.Sync become preparation hints.
+	FlowAuto = core.Auto
 )
 
 // Sync constants.
@@ -222,7 +230,9 @@ func (g *Graph) WriteText(w io.Writer) error {
 type Config struct {
 	// Layout selects the data layout (default LayoutAdjacency).
 	Layout Layout
-	// Flow selects push/pull/push-pull (default FlowPush).
+	// Flow selects push/pull/push-pull/auto (default FlowPush). FlowAuto
+	// delegates the whole per-iteration technique choice to the adaptive
+	// planner; the chosen plans are recorded in Result.Run.PerIteration.
 	Flow Flow
 	// Sync selects locks/atomics/partition-free (default SyncAtomics).
 	Sync Sync
@@ -244,6 +254,9 @@ type Config struct {
 	// RecordFrontiers stores per-iteration frontiers for NUMA analysis.
 	RecordFrontiers bool
 	// PushPullAlpha overrides the direction-switch threshold denominator.
+	// Only the dynamic flows (FlowPushPull, FlowAuto) read it; setting it
+	// with a static flow is rejected at validation instead of being
+	// silently ignored.
 	PushPullAlpha int
 	// MemoryBudget bounds the resident edge-buffer bytes of out-of-core
 	// (Store) runs; in-memory runs ignore it. 0 selects the default
@@ -281,6 +294,19 @@ func (g *Graph) Prepare(cfg Config) (Breakdown, error) {
 	}
 	switch cfg.Layout {
 	case LayoutEdgeArray:
+		if cfg.Flow == FlowAuto {
+			// The zero-value Layout must not strand the planner on the
+			// edge array — its whole point is choosing among layouts, so
+			// give it both adjacency directions to work with.
+			dir := prep.InOut
+			if opt.Undirected {
+				dir = prep.Out
+			}
+			if err := g.ensureAdjacency(dir, opt); err != nil {
+				return bd, err
+			}
+			break
+		}
 		// Nothing to build: the edge array is the input format, so its
 		// pre-processing cost is exactly zero (Section 3.2 of the paper).
 		return bd, nil
@@ -289,7 +315,9 @@ func (g *Graph) Prepare(cfg Config) (Breakdown, error) {
 		switch cfg.Flow {
 		case FlowPull:
 			dir = prep.In
-		case FlowPushPull:
+		case FlowPushPull, FlowAuto:
+			// The dynamic flows need both directions resident so the
+			// planner can switch between them.
 			dir = prep.InOut
 		}
 		if opt.Undirected {

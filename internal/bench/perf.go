@@ -14,6 +14,7 @@ import (
 	"github.com/epfl-repro/everythinggraph/internal/core"
 	"github.com/epfl-repro/everythinggraph/internal/gen"
 	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/metrics"
 	"github.com/epfl-repro/everythinggraph/internal/oocore"
 	"github.com/epfl-repro/everythinggraph/internal/prep"
 )
@@ -39,6 +40,9 @@ type PerfCase struct {
 	BytesPerOp  int64 `json:"bytes_per_op"`
 	// Iterations is the number of benchmark operations measured.
 	Iterations int `json:"iterations"`
+	// PlanTrace is the compressed per-iteration plan trace of one run
+	// (adaptive cases only): what the execution planner chose, in order.
+	PlanTrace string `json:"plan_trace,omitempty"`
 }
 
 // PerfReport is the archived perf trajectory document.
@@ -140,6 +144,7 @@ func RunPerf(scale Scale) (*PerfReport, error) {
 	pushAtomics := core.Config{Layout: graph.LayoutAdjacency, Flow: core.Push, Sync: core.SyncAtomics, Workers: workers}
 	pull := core.Config{Layout: graph.LayoutAdjacency, Flow: core.Pull, Sync: core.SyncPartitionFree, Workers: workers}
 	pushPull := core.Config{Layout: graph.LayoutAdjacency, Flow: core.PushPull, Sync: core.SyncAtomics, Workers: workers}
+	auto := core.Config{Flow: core.Auto, Workers: workers}
 
 	report := &PerfReport{
 		GoVersion:  runtime.Version(),
@@ -147,6 +152,23 @@ func RunPerf(scale Scale) (*PerfReport, error) {
 		RMATScale:  rmatScale,
 		EdgeFactor: edgeFactor,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+
+	// traceOf runs fn once outside the benchmark clock and returns the
+	// compressed plan trace, attached to the adaptive cases' JSON entries.
+	traceOf := func(run func() (*core.Result, error)) (string, error) {
+		res, err := run()
+		if err != nil {
+			return "", err
+		}
+		return metrics.CompressPlanTrace(res.PlanTrace()), nil
+	}
+
+	// adaptiveTraces maps adaptive case names to one-shot instrumented runs
+	// whose compressed plan traces are attached to the JSON entries.
+	adaptiveTraces := map[string]func() (*core.Result, error){}
+	for _, ar := range adaptiveRuns(g, workers) {
+		adaptiveTraces[ar.name] = ar.run
 	}
 
 	cases := []struct {
@@ -193,6 +215,28 @@ func RunPerf(scale Scale) (*PerfReport, error) {
 				}
 			}
 		}},
+		{"bfs_rmat_auto", func(b *testing.B) {
+			// Adaptive BFS: the planner must land within a few percent of
+			// the best fixed configuration (push-pull) — the acceptance
+			// criterion of the adaptive execution planner.
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(g, algorithms.NewBFS(0), auto); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"pagerank_rmat_auto_iter", func(b *testing.B) {
+			// Adaptive PageRank freezes on the pull/partition-free plan;
+			// per-iteration cost and the zero-allocation contract must
+			// match the fixed pull case.
+			pr := algorithms.NewPageRank()
+			pr.Iterations = b.N
+			b.ReportAllocs()
+			if _, err := core.Run(g, pr, auto); err != nil {
+				b.Fatal(err)
+			}
+		}},
 		{"pagerank_rmat_streamed", func(b *testing.B) {
 			// Out-of-core PageRank over the partitioned grid store with a
 			// 32 MiB resident budget: one full streamed pass per iteration,
@@ -214,9 +258,58 @@ func RunPerf(scale Scale) (*PerfReport, error) {
 		if err != nil {
 			return nil, err
 		}
+		if tf, ok := adaptiveTraces[c.name]; ok {
+			if pc.PlanTrace, err = traceOf(tf); err != nil {
+				return nil, err
+			}
+		}
 		report.Cases = append(report.Cases, pc)
 	}
 	return report, nil
+}
+
+// adaptiveRun is one adaptive perf case's instrumented (non-benchmarked)
+// run — the single definition shared by RunPerf's trace capture and
+// PlanTraces, so the reported traces always describe the configuration the
+// benchmarks measured.
+type adaptiveRun struct {
+	name string
+	run  func() (*core.Result, error)
+}
+
+func adaptiveRuns(g *graph.Graph, workers int) []adaptiveRun {
+	auto := core.Config{Flow: core.Auto, Workers: workers}
+	return []adaptiveRun{
+		{"bfs_rmat_auto", func() (*core.Result, error) { return core.Run(g, algorithms.NewBFS(0), auto) }},
+		{"pagerank_rmat_auto_iter", func() (*core.Result, error) { return core.Run(g, algorithms.NewPageRank(), auto) }},
+	}
+}
+
+// PlanTraces runs the perf suite's adaptive cases once (no benchmarking)
+// and returns their compressed per-iteration plan traces, for benchrunner's
+// -plan-trace output.
+func PlanTraces(scale Scale) ([]PerfCase, error) {
+	rmatScale := scale.RMATScale
+	if rmatScale <= 0 {
+		rmatScale = 16
+	}
+	edgeFactor := scale.RMATEdgeFactor
+	if edgeFactor <= 0 {
+		edgeFactor = 16
+	}
+	g, err := perfGraph(rmatScale, edgeFactor, scale.Seed, scale.Workers)
+	if err != nil {
+		return nil, err
+	}
+	var out []PerfCase
+	for _, c := range adaptiveRuns(g, scale.Workers) {
+		res, err := c.run()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, PerfCase{Name: c.name, Iterations: res.Iterations, PlanTrace: metrics.CompressPlanTrace(res.PlanTrace())})
+	}
+	return out, nil
 }
 
 // WritePerfJSON runs the perf suite and writes the report as indented JSON.

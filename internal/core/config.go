@@ -27,6 +27,12 @@ const (
 	// PushPull switches per iteration between Push and Pull depending on
 	// the size of the frontier (direction-optimizing traversal).
 	PushPull
+	// Auto hands every per-iteration decision — direction, but also layout
+	// and synchronization — to the adaptive execution planner, which picks
+	// among the layouts materialized on the graph using density thresholds
+	// and measured per-iteration costs (the paper's synthesis). Config.Layout
+	// and Config.Sync are treated as preparation hints only.
+	Auto
 )
 
 // String returns the label used in benchmark tables.
@@ -38,6 +44,8 @@ func (f Flow) String() string {
 		return "pull"
 	case PushPull:
 		return "push-pull"
+	case Auto:
+		return "auto"
 	default:
 		return fmt.Sprintf("Flow(%d)", int(f))
 	}
@@ -114,7 +122,12 @@ type IterationStats struct {
 	// ActiveEdges is the number of outgoing edges of those vertices (only
 	// computed when the direction-optimizing switch needs it; -1 otherwise).
 	ActiveEdges int64
-	// UsedPull reports whether the iteration ran in pull mode.
+	// Plan is the resolved execution recipe the iteration ran under. Static
+	// configurations repeat the configured techniques here (with dynamic
+	// flows resolved); adaptive runs record what the planner chose.
+	Plan StepPlan
+	// UsedPull reports whether the iteration ran in pull mode
+	// (Plan.Flow == Pull).
 	UsedPull bool
 	// Duration is the wall-clock time of the iteration.
 	Duration time.Duration
@@ -143,12 +156,29 @@ type Result struct {
 	IO SourceStats
 }
 
+// PlanTrace returns the per-iteration plan labels of the run, in execution
+// order — the raw material of the plan traces printed by the benchmarks
+// (see metrics.CompressPlanTrace for the compact rendering).
+func (r *Result) PlanTrace() []string {
+	trace := make([]string, len(r.PerIteration))
+	for i, it := range r.PerIteration {
+		trace[i] = it.Plan.String()
+	}
+	return trace
+}
+
 // ValidateTechniques checks the graph-independent consistency of a
 // {layout, flow, sync} combination — the rules of Section 6 that hold for
 // every dataset. CLIs call it before paying for generation or loading, so
 // an impossible combination fails with one clear line instead of surfacing
 // deep inside a run.
 func ValidateTechniques(layout graph.Layout, flow Flow, sync SyncMode) error {
+	if flow == Auto {
+		// The adaptive planner only ever emits valid combinations; layout
+		// and sync act as preparation hints, so there is nothing
+		// graph-independent to reject.
+		return nil
+	}
 	switch layout {
 	case graph.LayoutEdgeArray:
 		if sync == SyncPartitionFree {
@@ -169,11 +199,37 @@ func ValidateTechniques(layout graph.Layout, flow Flow, sync SyncMode) error {
 	return nil
 }
 
+// validateAlpha rejects a PushPullAlpha that would be silently ignored: the
+// threshold denominator only participates in the dynamic flows, so setting
+// it on a static configuration means the benchmark config lies about what
+// ran.
+func (cfg Config) validateAlpha() error {
+	if cfg.PushPullAlpha < 0 {
+		return fmt.Errorf("core: PushPullAlpha must be positive, got %d", cfg.PushPullAlpha)
+	}
+	if cfg.PushPullAlpha != 0 && cfg.Flow != PushPull && cfg.Flow != Auto {
+		return fmt.Errorf("core: PushPullAlpha is only used by the push-pull and auto flows; flow %v would silently ignore it", cfg.Flow)
+	}
+	return nil
+}
+
 // Validate checks that the configuration is consistent with the graph's
 // materialized layouts and with the synchronization rules of Section 6.
 func (cfg Config) Validate(g *graph.Graph) error {
 	if err := ValidateTechniques(cfg.Layout, cfg.Flow, cfg.Sync); err != nil {
 		return err
+	}
+	if err := cfg.validateAlpha(); err != nil {
+		return err
+	}
+	if cfg.Flow == Auto {
+		// The planner works with whatever layouts are materialized; it
+		// needs at least one (the edge array qualifies whenever the dataset
+		// has edges, so this only fires on degenerate inputs).
+		if g.Out == nil && g.In == nil && g.Grid == nil && len(g.EdgeArray.Edges) == 0 {
+			return fmt.Errorf("core: auto flow needs at least one materialized layout or a non-empty edge array")
+		}
+		return nil
 	}
 	switch cfg.Layout {
 	case graph.LayoutEdgeArray:

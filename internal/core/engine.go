@@ -13,6 +13,11 @@ import (
 // execution time, never pre-processing, matching the paper's methodology of
 // reporting the two phases separately.
 //
+// Every iteration executes through an explicit StepPlan produced by a
+// planner (see plan.go): static configurations run under the fixedPlanner,
+// Flow == Auto under the adaptive planner, and the plan each iteration ran
+// is recorded in its IterationStats.
+//
 // Steady-state execution (every iteration after the first) performs no heap
 // allocations and spawns no goroutines: parallel loops run on persistent
 // pool workers (see internal/sched), the next-frontier builders and the
@@ -33,6 +38,10 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	}
 
 	r := newRunner(g, alg, cfg, workers)
+	pl, err := newPlanner(g, cfg, r, alpha, !alg.Dense())
+	if err != nil {
+		return nil, err
+	}
 
 	if wb, ok := alg.(WorkerBound); ok {
 		wb.SetWorkers(workers)
@@ -41,7 +50,6 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	frontier := alg.InitialFrontier(g)
 	res := &Result{Algorithm: alg.Name()}
 
-	n := g.NumVertices()
 	start := time.Now()
 	for iter := 0; ; iter++ {
 		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
@@ -54,54 +62,27 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 		alg.BeforeIteration(iter)
 		iterStart := time.Now()
 
+		// Plan selection is part of the timed iteration: the threshold
+		// tests and the cost model are real switching overhead and must
+		// show up in the per-iteration accounting.
+		plan := pl.Next(iter, frontier)
 		stats := IterationStats{
 			Iteration:      iter,
 			ActiveVertices: frontier.Count(),
-			ActiveEdges:    -1,
+			ActiveEdges:    frontier.OutEdges(),
+			Plan:           plan,
+			UsedPull:       plan.Flow == Pull,
 		}
 		if cfg.RecordFrontiers {
 			res.FrontierHistory = append(res.FrontierHistory, r.frontierSnapshot(frontier))
 		}
 
-		var next *graph.Frontier
-		switch cfg.Layout {
-		case graph.LayoutEdgeArray:
-			next = r.edgeCentric(frontier)
-		case graph.LayoutAdjacency, graph.LayoutAdjacencySorted:
-			flow := cfg.Flow
-			if flow == PushPull {
-				stats.ActiveEdges = r.activeOutEdges(frontier)
-				threshold := int64(g.Out.NumEdges() / alpha)
-				if stats.ActiveEdges > threshold {
-					flow = Pull
-				} else {
-					flow = Push
-				}
-			}
-			if flow == Pull {
-				stats.UsedPull = true
-				next = r.vertexPull(frontier)
-			} else {
-				next = r.vertexPush(frontier)
-			}
-		case graph.LayoutGrid:
-			flow := cfg.Flow
-			if flow == PushPull {
-				// The grid has no per-vertex out index; the switch uses the
-				// active vertex count against the same |V|/alpha heuristic.
-				if frontier.Count() > n/alpha {
-					flow = Pull
-				} else {
-					flow = Push
-				}
-			}
-			stats.UsedPull = flow == Pull
-			next = r.gridStep(frontier, flow == Pull)
-		}
+		next := r.execute(plan, frontier)
 
 		stats.Duration = time.Since(iterStart)
 		res.PerIteration = append(res.PerIteration, stats)
 		res.Iterations++
+		pl.Observe(plan, stats)
 
 		converged := alg.AfterIteration(iter)
 		if !alg.Dense() {
@@ -155,10 +136,18 @@ type runner struct {
 	chunkStarts []int       // edge-balanced chunk boundaries into active
 	degSums     []paddedSum // per-worker out-degree accumulators
 
+	// Plan→kernel dispatch tables: every specialized per-edge span is bound
+	// once at setup (with the frontier-tracking branch already resolved),
+	// indexed by the plan's SyncMode. execute() selects from these tables
+	// per iteration, so the same runner serves a fixed configuration and an
+	// adaptive run that changes layout/sync between iterations.
+	pushSpans [3]func(worker, lo, hi int) // push variants over active indices, by SyncMode
+	edgeSpans [3]func(worker, lo, hi int) // edge-centric variants over edge indices, by SyncMode
+
 	// Loop bodies and per-edge span functions, bound once at setup.
-	pushSpan       func(worker, lo, hi int) // selected push variant over active indices
-	pullSpan       func(worker, lo, hi int) // selected pull variant over vertex ids
-	edgeSpan       func(worker, lo, hi int) // selected edge-centric variant over edge indices
+	pushSpan       func(worker, lo, hi int) // push variant selected by the current plan
+	pullSpan       func(worker, lo, hi int) // pull variant over vertex ids (sync-independent)
+	edgeSpan       func(worker, lo, hi int) // edge-centric variant selected by the current plan
 	pushChunksBody func(worker, lo, hi int) // walks chunkStarts, calls pushSpan
 	degBody        func(worker, lo, hi int) // sums active out-degrees into degSums
 	gridOwnedBody  func(worker, lo, hi int) // column-owned grid traversal
@@ -177,9 +166,10 @@ type runner struct {
 	cellPullPlain  func(worker int, cell []graph.Edge)
 }
 
-// newRunner builds the per-run state: it selects the specialized per-edge
-// loop for the configured {sync} x {tracked} combination (hoisting the
-// dispatch that used to run per edge) and binds every loop body once.
+// newRunner builds the per-run state: it binds every specialized per-edge
+// loop for the run's {tracked} mode into sync-indexed dispatch tables
+// (hoisting the dispatch that used to run per edge) and binds every loop
+// body once.
 func newRunner(g *graph.Graph, alg Algorithm, cfg Config, workers int) *runner {
 	r := &runner{
 		g:       g,
@@ -189,7 +179,10 @@ func newRunner(g *graph.Graph, alg Algorithm, cfg Config, workers int) *runner {
 		track:   !alg.Dense(),
 		out:     g.Out,
 	}
-	if cfg.Sync == SyncLocks {
+	if cfg.Sync == SyncLocks && cfg.Flow != Auto {
+		// Auto never plans locks (and SyncLocks is the zero SyncMode, so a
+		// bare auto config would otherwise preallocate the stripe table for
+		// nothing); execute() allocates lazily if a locks plan ever runs.
 		r.locks = newVertexLocks()
 	}
 	if g.In != nil {
@@ -200,38 +193,34 @@ func newRunner(g *graph.Graph, alg Algorithm, cfg Config, workers int) *runner {
 		r.in = g.Out
 	}
 
-	// Specialized per-edge loops: the sync-mode switch and the frontier
-	// tracking branch are resolved here, once per run, instead of per edge.
-	switch cfg.Sync {
-	case SyncAtomics:
-		if r.track {
-			r.pushSpan = r.pushSpanAtomicTracked
-			r.edgeSpan = r.edgeSpanAtomicTracked
-		} else {
-			r.pushSpan = r.pushSpanAtomicDense
-			r.edgeSpan = r.edgeSpanAtomicDense
-		}
-	case SyncLocks:
-		if r.track {
-			r.pushSpan = r.pushSpanLocksTracked
-			r.edgeSpan = r.edgeSpanLocksTracked
-		} else {
-			r.pushSpan = r.pushSpanLocksDense
-			r.edgeSpan = r.edgeSpanLocksDense
-		}
-	default: // SyncPartitionFree: Validate only admits it where layout
-		// ownership (or pull-mode vertex ownership) makes plain updates safe.
-		if r.track {
-			r.pushSpan = r.pushSpanPlainTracked
-			r.edgeSpan = r.edgeSpanPlainTracked
-		} else {
-			r.pushSpan = r.pushSpanPlainDense
-			r.edgeSpan = r.edgeSpanPlainDense
-		}
-	}
+	// Specialized per-edge loops: the frontier-tracking branch is resolved
+	// here, once per run; the sync-mode switch becomes a table the plan
+	// indexes per iteration (it used to run per edge, then once per run —
+	// adaptive plans need it per iteration without reintroducing per-edge
+	// dispatch).
 	if r.track {
+		r.pushSpans = [3]func(worker, lo, hi int){
+			SyncLocks:         r.pushSpanLocksTracked,
+			SyncAtomics:       r.pushSpanAtomicTracked,
+			SyncPartitionFree: r.pushSpanPlainTracked,
+		}
+		r.edgeSpans = [3]func(worker, lo, hi int){
+			SyncLocks:         r.edgeSpanLocksTracked,
+			SyncAtomics:       r.edgeSpanAtomicTracked,
+			SyncPartitionFree: r.edgeSpanPlainTracked,
+		}
 		r.pullSpan = r.pullSpanTracked
 	} else {
+		r.pushSpans = [3]func(worker, lo, hi int){
+			SyncLocks:         r.pushSpanLocksDense,
+			SyncAtomics:       r.pushSpanAtomicDense,
+			SyncPartitionFree: r.pushSpanPlainDense,
+		}
+		r.edgeSpans = [3]func(worker, lo, hi int){
+			SyncLocks:         r.edgeSpanLocksDense,
+			SyncAtomics:       r.edgeSpanAtomicDense,
+			SyncPartitionFree: r.edgeSpanPlainDense,
+		}
 		r.pullSpan = r.pullSpanDense
 	}
 
@@ -321,8 +310,14 @@ func (r *runner) frontierSnapshot(f *graph.Frontier) []graph.VertexID {
 
 // activeOutEdges sums the out-degrees of the frontier's vertices (the
 // quantity compared against |E|/alpha by the direction-optimizing switch)
-// into preallocated, cache-line-padded per-worker accumulators.
+// into preallocated, cache-line-padded per-worker accumulators. The result
+// is memoized on the frontier, so the planner's threshold test, its cost
+// model and the per-iteration statistics all share one degree pass — and a
+// long-lived dense frontier (PageRank's) pays it exactly once per run.
 func (r *runner) activeOutEdges(f *graph.Frontier) int64 {
+	if cached := f.OutEdges(); cached >= 0 {
+		return cached
+	}
 	if r.degSums == nil {
 		r.degSums = make([]paddedSum, r.workers)
 	}
@@ -335,5 +330,6 @@ func (r *runner) activeOutEdges(f *graph.Frontier) int64 {
 	for i := range r.degSums {
 		total += r.degSums[i].v
 	}
+	f.SetOutEdges(total)
 	return total
 }

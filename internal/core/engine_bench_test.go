@@ -101,3 +101,33 @@ func BenchmarkBFSPushPullRMAT16(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkBFSAutoRMAT16 measures BFS under the adaptive execution planner
+// (-flow auto): the acceptance bar is ns/op within 10% of
+// BenchmarkBFSPushPullRMAT16, the best fixed configuration.
+func BenchmarkBFSAutoRMAT16(b *testing.B) {
+	g := rmat16(b)
+	cfg := Config{Flow: Auto}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, algorithms.NewBFS(0), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPageRankAutoIterRMAT16 measures one adaptive PageRank iteration;
+// the planner freezes on the pull/partition-free plan, so ns/op and the
+// zero-allocation contract must match BenchmarkPageRankPullIterRMAT16.
+func BenchmarkPageRankAutoIterRMAT16(b *testing.B) {
+	g := rmat16(b)
+	cfg := Config{Flow: Auto}
+	pr := algorithms.NewPageRank()
+	pr.Iterations = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(g, pr, cfg); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -12,7 +12,33 @@ import (
 // the sync-mode switch, the frontier-tracking branch and the frontier
 // membership test out of those loops (they are resolved once per run in
 // newRunner, or hoisted to a bitmap load) leaves one interface call per
-// edge — the algorithm's edge function — and nothing else.
+// edge — the algorithm's edge function — and nothing else. execute() maps
+// a StepPlan onto those kernels through the runner's dispatch tables.
+
+// execute runs one iteration under plan and returns the next frontier (nil
+// for dense algorithms). It is the plan→kernel dispatch: the plan indexes
+// the span tables bound at setup, so selecting a different layout, flow or
+// sync mode between iterations costs a table load, never per-edge dispatch.
+func (r *runner) execute(plan StepPlan, frontier *graph.Frontier) *graph.Frontier {
+	if plan.Sync == SyncLocks && r.locks == nil {
+		// Fixed lock configurations allocate the stripe table at setup;
+		// this covers a planner emitting locks mid-run.
+		r.locks = newVertexLocks()
+	}
+	switch plan.Layout {
+	case graph.LayoutEdgeArray:
+		r.edgeSpan = r.edgeSpans[plan.Sync]
+		return r.edgeCentric(frontier)
+	case graph.LayoutGrid:
+		return r.gridStep(frontier, plan)
+	default: // LayoutAdjacency, LayoutAdjacencySorted
+		if plan.Flow == Pull {
+			return r.vertexPull(frontier)
+		}
+		r.pushSpan = r.pushSpans[plan.Sync]
+		return r.vertexPush(frontier)
+	}
+}
 
 // pushEdgeChunk is the target number of out-edges per push chunk. Push
 // iterations are partitioned by ACTIVE OUT-EDGES, not active vertices, so a
@@ -377,19 +403,19 @@ func (r *runner) edgeSpanPlainDense(_, lo, hi int) {
 // (Section 6.1.2). Under locks/atomics, cells are processed independently
 // with synchronized destination updates (the "grid (locks)" configuration
 // of Figure 8).
-func (r *runner) gridStep(frontier *graph.Frontier, pullMode bool) *graph.Frontier {
+func (r *runner) gridStep(frontier *graph.Frontier, plan StepPlan) *graph.Frontier {
 	grid := r.g.Grid
 	r.bits = frontier.Bitmap()
 	b := r.nextBuilder()
 
-	owned := r.cfg.Sync == SyncPartitionFree
-	if pullMode {
+	owned := plan.Sync == SyncPartitionFree
+	if plan.Flow == Pull {
 		switch {
 		case owned:
 			r.cellFn = r.cellPullOwned
-		case r.cfg.Sync == SyncAtomics:
+		case plan.Sync == SyncAtomics:
 			r.cellFn = r.cellPullAtomic
-		case r.cfg.Sync == SyncLocks:
+		case plan.Sync == SyncLocks:
 			r.cellFn = r.cellPullLocks
 		default:
 			r.cellFn = r.cellPullPlain
@@ -398,9 +424,9 @@ func (r *runner) gridStep(frontier *graph.Frontier, pullMode bool) *graph.Fronti
 		switch {
 		case owned:
 			r.cellFn = r.cellPushOwned
-		case r.cfg.Sync == SyncAtomics:
+		case plan.Sync == SyncAtomics:
 			r.cellFn = r.cellPushAtomic
-		case r.cfg.Sync == SyncLocks:
+		case plan.Sync == SyncLocks:
 			r.cellFn = r.cellPushLocks
 		default:
 			r.cellFn = r.cellPushPlain

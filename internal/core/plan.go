@@ -1,0 +1,459 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+// This file contains the per-iteration execution planner. The engine never
+// reads techniques off Config inside its iteration loop; instead a planner
+// resolves every iteration into an explicit StepPlan, and Run/RunStreamed
+// reduce to `plan := planner.Next(...); execute(plan)`. The static
+// configurations of the paper's individual experiments are the trivial
+// fixedPlanner; the paper's synthesis — no single (layout, flow, sync)
+// point wins, the best combination changes per algorithm, per graph and
+// per iteration — is the adaptivePlanner behind Flow == Auto.
+
+// StepPlan is the fully resolved execution recipe for one iteration: which
+// layout to iterate, in which direction, under which synchronization
+// discipline, and whether the next frontier is built. Flow is always Push
+// or Pull here — the dynamic flows (PushPull, Auto) exist only at the
+// Config level and are resolved by the planner before execution.
+type StepPlan struct {
+	Layout graph.Layout
+	Flow   Flow
+	Sync   SyncMode
+	// Tracked reports whether the iteration builds a next frontier (false
+	// for dense algorithms that process the whole graph every iteration).
+	Tracked bool
+}
+
+// String returns the "layout/flow/sync" label used in plan traces.
+func (p StepPlan) String() string {
+	return fmt.Sprintf("%v/%v/%v", p.Layout, p.Flow, p.Sync)
+}
+
+// planner chooses the StepPlan for each iteration and receives the measured
+// outcome of the previous choice. Implementations must be cheap and
+// allocation-free in the steady state: Next runs inside the timed portion
+// of every iteration.
+type planner interface {
+	// Next returns the plan for the iteration about to execute, given the
+	// current frontier.
+	Next(iteration int, f *graph.Frontier) StepPlan
+	// Observe feeds back the measured statistics of an executed plan so a
+	// mispredicted plan can be abandoned on the next iteration.
+	Observe(plan StepPlan, stats IterationStats)
+}
+
+// plannerEnv is what a planner knows about the run, fixed at setup.
+type plannerEnv struct {
+	numVertices int
+	// totalEdges is the number of edges one full scan visits (out-adjacency
+	// entries when resident, otherwise stored edges, doubled for undirected
+	// datasets). It is the denominator of the direction thresholds and the
+	// work unit of the cost model.
+	totalEdges int64
+	// alpha is the direction-switch threshold denominator (|E|/alpha).
+	alpha int
+	// tracked mirrors StepPlan.Tracked for the whole run.
+	tracked bool
+	// activeOutEdges sums the out-degrees of a frontier, memoizing the
+	// result on the frontier. nil when no out index is resident (grid-only
+	// and streamed runs), in which case planners fall back to the
+	// active-vertex-count heuristic.
+	activeOutEdges func(*graph.Frontier) int64
+}
+
+// overThreshold applies the direction-optimizing test shared by every
+// dynamic flow: pull when the frontier's outgoing edges exceed |E|/alpha,
+// or — when no out index is resident — when the active vertex count
+// exceeds |V|/alpha (the grid and streamed heuristic).
+func (env *plannerEnv) overThreshold(f *graph.Frontier) bool {
+	if env.activeOutEdges != nil {
+		return env.activeOutEdges(f) > env.totalEdges/int64(env.alpha)
+	}
+	return f.Count() > env.numVertices/env.alpha
+}
+
+// fixedPlanner reproduces a static Config: layout and sync never change and
+// the flow is fixed, except that PushPull resolves direction per iteration
+// with the shared threshold test. This is the planner behind every
+// non-Auto configuration, and the single home of the direction-switch
+// logic that Run and RunStreamed used to duplicate.
+type fixedPlanner struct {
+	env  plannerEnv
+	plan StepPlan // Flow holds the resolved static direction
+	flow Flow     // the configured flow (may be PushPull)
+}
+
+func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMode) *fixedPlanner {
+	resolved := flow
+	if flow == PushPull {
+		resolved = Push // per-iteration; overwritten by Next
+	}
+	if layout == graph.LayoutEdgeArray {
+		// Edge-centric iterations scan all edges and apply push updates;
+		// direction is not a meaningful choice (Validate rejects PushPull).
+		resolved = Push
+	}
+	return &fixedPlanner{
+		env:  env,
+		plan: StepPlan{Layout: layout, Flow: resolved, Sync: sync, Tracked: env.tracked},
+		flow: flow,
+	}
+}
+
+func (p *fixedPlanner) Next(_ int, f *graph.Frontier) StepPlan {
+	plan := p.plan
+	if p.flow == PushPull {
+		if p.env.overThreshold(f) {
+			plan.Flow = Pull
+		} else {
+			plan.Flow = Push
+		}
+	}
+	return plan
+}
+
+func (p *fixedPlanner) Observe(StepPlan, IterationStats) {}
+
+// Cost-model priors: assumed nanoseconds per scanned edge before any
+// measurement exists. Absolute values are irrelevant — only the ordering
+// matters, and it encodes the paper's findings: pull over adjacency lists
+// is cheapest per edge (vertex ownership, no synchronization, early exit),
+// push over adjacency pays for atomics, the grid trades per-edge cost for
+// partition-free columns, and the edge array pays both a full scan and
+// atomics. Measured costs replace the priors after one iteration.
+const (
+	priorAdjacencyPull = 1.0
+	priorAdjacencyPush = 1.6
+	priorGridPush      = 2.4
+	priorGridPull      = 2.5
+	priorEdgeArray     = 3.0
+)
+
+// adaptiveDenseFrontier is the frontier density at or above which the
+// adaptive planner pulls without summing frontier out-degrees: a quarter of
+// all vertices active puts any remotely uniform frontier far beyond the
+// |E|/alpha threshold, so the O(frontier) degree pass is skipped.
+const adaptiveDenseFrontier = 0.25
+
+// ewmaNewWeight is the weight of the newest per-edge cost measurement. It
+// is deliberately high (latest-wins) so one bad iteration is enough to
+// abandon a mispredicted plan.
+const ewmaNewWeight = 0.75
+
+// minMeasureEdges is the smallest iteration (in traversed edges) whose
+// duration updates the cost model. Below it, fixed per-iteration costs
+// (scheduling, frontier management) dominate the measurement and would be
+// misread as an enormous per-edge cost, making the planner flee a
+// perfectly good plan on the evidence of a microscopic frontier.
+const minMeasureEdges = 4096
+
+// planCandidate is one runnable plan with its cost-model state.
+type planCandidate struct {
+	plan StepPlan
+	// prior is the assumed ns/edge before any measurement.
+	prior float64
+	// fullScan reports that an iteration visits all totalEdges regardless
+	// of frontier size (pull, grid and edge-array iterations); push over
+	// adjacency lists visits only the frontier's out-edges.
+	fullScan bool
+}
+
+// adaptivePlanner implements the paper's synthesis as an online policy:
+//
+//   - direction by frontier density and active-out-edge thresholds (the
+//     direction-optimizing switch generalized beyond BFS to every tracked
+//     algorithm);
+//   - layout by predicted scan volume × measured per-edge cost, which makes
+//     the planner leave adjacency lists for edge-array/grid iteration
+//     exactly when the frontier is near-dense enough that a full sequential
+//     scan is cheaper than frontier-driven access;
+//   - sync by ownership: partition-free whenever the chosen layout gives
+//     the worker exclusive destinations (pull-mode vertex ownership, grid
+//     columns), atomics otherwise — locks are never chosen, matching
+//     Section 6.1.2's result;
+//   - feedback: measured per-edge costs replace the model's priors with
+//     latest-wins weighting, so a plan that mispredicted is abandoned after
+//     a single iteration.
+//
+// Dense (whole-graph) algorithms are planned once and frozen: their
+// iterations are statistically identical, so there is nothing to adapt to,
+// and freezing keeps results bit-identical to the equivalent fixed
+// configuration (floating-point accumulation order never changes mid-run).
+type adaptivePlanner struct {
+	env        plannerEnv
+	candidates []planCandidate
+	measured   []float64 // ns/edge EWMA per candidate; 0 = unmeasured
+	frozen     int       // dense algorithms: candidate locked at iteration 0; -1 while unset
+}
+
+func newAdaptivePlanner(env plannerEnv, candidates []planCandidate) *adaptivePlanner {
+	return &adaptivePlanner{
+		env:        env,
+		candidates: candidates,
+		measured:   make([]float64, len(candidates)),
+		frozen:     -1,
+	}
+}
+
+func (p *adaptivePlanner) Next(_ int, f *graph.Frontier) StepPlan {
+	if !p.env.tracked {
+		if p.frozen < 0 {
+			p.frozen = p.cheapestPrior()
+		}
+		return p.candidates[p.frozen].plan
+	}
+	flow := p.direction(f)
+	return p.candidates[p.cheapest(flow, f)].plan
+}
+
+// cheapestPrior returns the candidate with the lowest prior per-edge cost —
+// the plan a dense (whole-graph) algorithm freezes on. Measurements are
+// deliberately ignored: dense iterations are statistically identical, and
+// never switching keeps the floating-point accumulation order — and hence
+// the result bits — identical to the equivalent fixed configuration.
+func (p *adaptivePlanner) cheapestPrior() int {
+	best := 0
+	for i, c := range p.candidates {
+		if c.prior < p.candidates[best].prior {
+			best = i
+		}
+	}
+	return best
+}
+
+// direction picks push or pull for a tracked iteration. The density test
+// runs first because it is O(1); the degree sum only runs when the frontier
+// is sparse enough that density alone cannot decide.
+func (p *adaptivePlanner) direction(f *graph.Frontier) Flow {
+	hasPull, hasPush := p.hasFlow(Pull), p.hasFlow(Push)
+	switch {
+	case !hasPull:
+		return Push
+	case !hasPush:
+		return Pull
+	case f.Density() >= adaptiveDenseFrontier:
+		return Pull
+	case p.env.overThreshold(f):
+		return Pull
+	}
+	return Push
+}
+
+func (p *adaptivePlanner) hasFlow(flow Flow) bool {
+	for _, c := range p.candidates {
+		if c.plan.Flow == flow {
+			return true
+		}
+	}
+	return false
+}
+
+// cheapest returns the candidate with the lowest estimated cost for this
+// iteration among those propagating in the desired direction: per-edge cost
+// (measured, or the model's prior) times predicted scan volume. Comparing a
+// frontier-proportional adjacency push against full-scan candidates is what
+// implements the near-dense layout switch: as the frontier's out-edges
+// approach |E|, a cheaper-per-edge full scan overtakes it.
+func (p *adaptivePlanner) cheapest(flow Flow, f *graph.Frontier) int {
+	best := -1
+	var bestCost float64
+	for i, c := range p.candidates {
+		if c.plan.Flow != flow {
+			continue
+		}
+		per := p.measured[i]
+		if per == 0 {
+			per = c.prior
+		}
+		work := float64(p.env.totalEdges)
+		if !c.fullScan {
+			work = float64(p.predictedActiveEdges(f))
+		}
+		if cost := per * work; best < 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	if best < 0 {
+		// No candidate in the desired direction (e.g. a directed graph with
+		// no in-adjacency); fall back to whatever exists. newPlanner
+		// guarantees the candidate set is non-empty.
+		return p.cheapest(oppositeFlow(flow), f)
+	}
+	return best
+}
+
+// predictedActiveEdges estimates the edges a frontier-proportional (push)
+// iteration will traverse.
+func (p *adaptivePlanner) predictedActiveEdges(f *graph.Frontier) int64 {
+	if aoe := f.OutEdges(); aoe >= 0 {
+		return aoe
+	}
+	if p.env.activeOutEdges != nil {
+		return p.env.activeOutEdges(f)
+	}
+	// No out index: scale the average degree by the frontier size.
+	if p.env.numVertices == 0 {
+		return 0
+	}
+	return int64(f.Count()) * p.env.totalEdges / int64(p.env.numVertices)
+}
+
+func oppositeFlow(flow Flow) Flow {
+	if flow == Pull {
+		return Push
+	}
+	return Pull
+}
+
+// Observe folds the measured iteration cost into the candidate's per-edge
+// estimate with latest-wins weighting.
+func (p *adaptivePlanner) Observe(plan StepPlan, stats IterationStats) {
+	idx := -1
+	for i, c := range p.candidates {
+		if c.plan == plan {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 || stats.Duration <= 0 {
+		return
+	}
+	work := float64(p.env.totalEdges)
+	if !p.candidates[idx].fullScan {
+		if stats.ActiveEdges >= 0 {
+			work = float64(stats.ActiveEdges)
+		} else if p.env.numVertices > 0 {
+			work = float64(stats.ActiveVertices) * float64(p.env.totalEdges) / float64(p.env.numVertices)
+		}
+	}
+	if work < minMeasureEdges {
+		return
+	}
+	per := float64(stats.Duration.Nanoseconds()) / work
+	if old := p.measured[idx]; old != 0 {
+		per = (1-ewmaNewWeight)*old + ewmaNewWeight*per
+	}
+	p.measured[idx] = per
+}
+
+// newPlanner builds the planner for an in-memory run: the fixedPlanner for
+// static configurations, the adaptivePlanner over every runnable layout for
+// Flow == Auto.
+func newPlanner(g *graph.Graph, cfg Config, r *runner, alpha int, tracked bool) (planner, error) {
+	env := plannerEnv{
+		numVertices: g.NumVertices(),
+		totalEdges:  residentScanEdges(g),
+		alpha:       alpha,
+		tracked:     tracked,
+	}
+	if g.Out != nil {
+		env.activeOutEdges = r.activeOutEdges
+	}
+
+	if cfg.Flow != Auto {
+		if cfg.Layout == graph.LayoutGrid {
+			// The grid has no per-vertex out index; its direction switch
+			// uses the active-vertex heuristic even when an out-adjacency
+			// happens to be resident, preserving the measured behaviour of
+			// the paper's grid configurations.
+			env.activeOutEdges = nil
+		}
+		return newFixedPlanner(env, cfg.Layout, cfg.Flow, cfg.Sync), nil
+	}
+
+	candidates := autoCandidates(g, tracked)
+	if len(candidates) == 0 {
+		return nil, fmt.Errorf("core: auto flow found no runnable layout (build adjacency lists, a grid, or supply edges)")
+	}
+	return newAdaptivePlanner(env, candidates), nil
+}
+
+// autoCandidates enumerates the plans the adaptive planner may choose among
+// on this graph: one per materialized layout (and direction), each with the
+// sync mode its ownership structure dictates.
+func autoCandidates(g *graph.Graph, tracked bool) []planCandidate {
+	var cs []planCandidate
+	if g.In != nil || (!g.Directed && g.Out != nil) {
+		cs = append(cs, planCandidate{
+			plan:     StepPlan{Layout: graph.LayoutAdjacency, Flow: Pull, Sync: SyncPartitionFree, Tracked: tracked},
+			prior:    priorAdjacencyPull,
+			fullScan: true,
+		})
+	}
+	if g.Out != nil {
+		cs = append(cs, planCandidate{
+			plan:  StepPlan{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics, Tracked: tracked},
+			prior: priorAdjacencyPush,
+		})
+	}
+	if g.Grid != nil {
+		cs = append(cs,
+			planCandidate{
+				plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Tracked: tracked},
+				prior:    priorGridPush,
+				fullScan: true,
+			},
+			planCandidate{
+				plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Pull, Sync: SyncPartitionFree, Tracked: tracked},
+				prior:    priorGridPull,
+				fullScan: true,
+			})
+	}
+	if len(g.EdgeArray.Edges) > 0 {
+		cs = append(cs, planCandidate{
+			plan:     StepPlan{Layout: graph.LayoutEdgeArray, Flow: Push, Sync: SyncAtomics, Tracked: tracked},
+			prior:    priorEdgeArray,
+			fullScan: true,
+		})
+	}
+	return cs
+}
+
+// residentScanEdges returns the edges one full scan visits on this graph:
+// the out-adjacency entry count when resident (doubled already for
+// undirected pre-processing), otherwise the stored edges with the
+// undirected mirroring the edge-centric path applies.
+func residentScanEdges(g *graph.Graph) int64 {
+	if g.Out != nil {
+		return int64(g.Out.NumEdges())
+	}
+	m := int64(len(g.EdgeArray.Edges))
+	if !g.Directed {
+		m *= 2
+	}
+	return m
+}
+
+// newStreamPlanner builds the planner for a streamed (out-of-core) run:
+// layout and sync are pinned by the store's column-ownership argument, so
+// only the direction is planned — statically, by the shared threshold, or
+// adaptively for Flow == Auto.
+func newStreamPlanner(src Source, cfg Config, alpha int, tracked bool) planner {
+	env := plannerEnv{
+		numVertices: src.NumVertices(),
+		totalEdges:  src.NumEdges(),
+		alpha:       alpha,
+		tracked:     tracked,
+		// No resident out index: the count heuristic decides direction.
+	}
+	if cfg.Flow != Auto {
+		return newFixedPlanner(env, graph.LayoutGrid, cfg.Flow, SyncPartitionFree)
+	}
+	return newAdaptivePlanner(env, []planCandidate{
+		{
+			plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Tracked: tracked},
+			prior:    priorGridPush,
+			fullScan: true,
+		},
+		{
+			plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Pull, Sync: SyncPartitionFree, Tracked: tracked},
+			prior:    priorGridPull,
+			fullScan: true,
+		},
+	})
+}

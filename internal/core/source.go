@@ -105,16 +105,23 @@ type degreePreset interface {
 // analogue of Run's grid path. Only the partition-free discipline is
 // supported: column ownership is what lets a streamed cell be applied
 // without synchronization, so cfg.Sync must be SyncPartitionFree and
-// cfg.Layout must be LayoutGrid. Flow may be Push, Pull or PushPull (the
-// switch uses the same active-vertex heuristic as the in-memory grid).
-// Vertex state (algorithm arrays, frontiers, degree table) stays resident;
-// edge data never exceeds the source's buffer budget.
+// cfg.Layout must be LayoutGrid (Flow == Auto relaxes both — the planner
+// pins them itself). Flow may be Push, Pull, PushPull (the switch uses the
+// same active-vertex heuristic as the in-memory grid) or Auto (the
+// adaptive planner chooses direction with measured-cost feedback). Vertex
+// state (algorithm arrays, frontiers, degree table) stays resident; edge
+// data never exceeds the source's buffer budget.
 func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
-	if cfg.Layout != graph.LayoutGrid {
-		return nil, fmt.Errorf("core: streamed execution runs over grid cells; layout must be grid, not %v", cfg.Layout)
+	if cfg.Flow != Auto {
+		if cfg.Layout != graph.LayoutGrid {
+			return nil, fmt.Errorf("core: streamed execution runs over grid cells; layout must be grid, not %v", cfg.Layout)
+		}
+		if cfg.Sync != SyncPartitionFree {
+			return nil, fmt.Errorf("core: streamed execution relies on column ownership and supports only sync=no-lock, not %v", cfg.Sync)
+		}
 	}
-	if cfg.Sync != SyncPartitionFree {
-		return nil, fmt.Errorf("core: streamed execution relies on column ownership and supports only sync=no-lock, not %v", cfg.Sync)
+	if err := cfg.validateAlpha(); err != nil {
+		return nil, err
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -142,7 +149,7 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	res := &Result{Algorithm: alg.Name()}
 
 	r := newStreamRunner(src, alg, workers)
-	n := src.NumVertices()
+	pl := newStreamPlanner(src, cfg, alpha, !alg.Dense())
 	opt := StreamOptions{Workers: workers, MemoryBudget: cfg.MemoryBudget}
 
 	start := time.Now()
@@ -158,25 +165,16 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 		iterStart := time.Now()
 		before := src.Stats()
 
+		plan := pl.Next(iter, frontier)
 		stats := IterationStats{
 			Iteration:      iter,
 			ActiveVertices: frontier.Count(),
-			ActiveEdges:    -1,
+			ActiveEdges:    frontier.OutEdges(),
+			Plan:           plan,
+			UsedPull:       plan.Flow == Pull,
 		}
-		flow := cfg.Flow
-		if flow == PushPull {
-			// Same heuristic as the in-memory grid: no per-vertex out index
-			// is resident, so the switch compares active vertices to
-			// |V|/alpha.
-			if frontier.Count() > n/alpha {
-				flow = Pull
-			} else {
-				flow = Push
-			}
-		}
-		stats.UsedPull = flow == Pull
 
-		next, err := r.step(frontier, flow == Pull, opt)
+		next, err := r.step(frontier, plan.Flow == Pull, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -185,6 +183,7 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 		stats.IOWait = src.Stats().Sub(before).IOWait
 		res.PerIteration = append(res.PerIteration, stats)
 		res.Iterations++
+		pl.Observe(plan, stats)
 
 		converged := alg.AfterIteration(iter)
 		if !alg.Dense() {

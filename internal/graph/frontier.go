@@ -83,6 +83,17 @@ func (f *Frontier) Count() int { return f.count }
 // IsEmpty reports whether no vertex is active.
 func (f *Frontier) IsEmpty() bool { return f.count == 0 }
 
+// Density returns the fraction of the vertex universe that is active, in
+// [0, 1]. It is O(1) on both representations; the execution planner's
+// direction and layout heuristics consult it before paying for the
+// O(frontier) out-degree sum.
+func (f *Frontier) Density() float64 {
+	if f.numVertices == 0 {
+		return 0
+	}
+	return float64(f.count) / float64(f.numVertices)
+}
+
 // IsDense reports whether the frontier currently uses the bitmap
 // representation.
 func (f *Frontier) IsDense() bool { return f.isDense }

@@ -168,3 +168,26 @@ func TestFrontierSetSemanticsProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestFrontierDensity(t *testing.T) {
+	f := NewFrontierFromSparse(200, []VertexID{1, 2, 3, 4, 5})
+	if got := f.Density(); got != 0.025 {
+		t.Fatalf("Density = %v, want 0.025", got)
+	}
+	if got := NewFrontier(0).Density(); got != 0 {
+		t.Fatalf("empty-universe Density = %v, want 0", got)
+	}
+	if got := FullFrontier(64).Density(); got != 1 {
+		t.Fatalf("full Density = %v, want 1", got)
+	}
+	// The out-edge memo consulted by the planner survives representation
+	// conversions and reports -1 until set.
+	if f.OutEdges() != -1 {
+		t.Fatalf("fresh frontier OutEdges = %d, want -1", f.OutEdges())
+	}
+	f.SetOutEdges(42)
+	f.ToDense()
+	if f.OutEdges() != 42 {
+		t.Fatalf("OutEdges after ToDense = %d, want 42", f.OutEdges())
+	}
+}

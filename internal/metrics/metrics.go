@@ -190,6 +190,33 @@ func (t *Table) SortRows() {
 	sort.SliceStable(t.Rows, func(i, j int) bool { return t.Rows[i].Label < t.Rows[j].Label })
 }
 
+// CompressPlanTrace renders a per-iteration plan trace as runs of identical
+// plans: ["a/push/atomics", "a/push/atomics", "a/pull/no-lock"] becomes
+// "a/push/atomics x2 -> a/pull/no-lock". Benchmarks and the CLI print this
+// compact form so adaptive runs can show what the planner chose without one
+// line per iteration.
+func CompressPlanTrace(steps []string) string {
+	if len(steps) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i := 0; i < len(steps); {
+		j := i
+		for j < len(steps) && steps[j] == steps[i] {
+			j++
+		}
+		if i > 0 {
+			sb.WriteString(" -> ")
+		}
+		sb.WriteString(steps[i])
+		if n := j - i; n > 1 {
+			fmt.Fprintf(&sb, " x%d", n)
+		}
+		i = j
+	}
+	return sb.String()
+}
+
 // FormatSeconds renders a duration as seconds with three decimals, the unit
 // used by the paper's tables.
 func FormatSeconds(d time.Duration) string {

@@ -113,3 +113,23 @@ func TestFormatters(t *testing.T) {
 		t.Fatalf("Speedup by zero = %q", Speedup(time.Second, 0))
 	}
 }
+
+func TestCompressPlanTrace(t *testing.T) {
+	cases := []struct {
+		in   []string
+		want string
+	}{
+		{nil, ""},
+		{[]string{"a/push/atomics"}, "a/push/atomics"},
+		{[]string{"a/push/atomics", "a/push/atomics"}, "a/push/atomics x2"},
+		{
+			[]string{"a/push/atomics", "a/pull/no-lock", "a/pull/no-lock", "a/push/atomics"},
+			"a/push/atomics -> a/pull/no-lock x2 -> a/push/atomics",
+		},
+	}
+	for _, c := range cases {
+		if got := CompressPlanTrace(c.in); got != c.want {
+			t.Fatalf("CompressPlanTrace(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
