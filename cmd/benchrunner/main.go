@@ -34,7 +34,7 @@ func main() {
 		seed        = flag.Int64("seed", bench.Default.Seed, "dataset generation seed")
 		quick       = flag.Bool("quick", false, "use the small quick scale (for smoke runs)")
 		perfJSON    = flag.String("perf-json", "", "run the perf trajectory suite (RMAT-scale-16 engine microbenchmarks) and write the JSON report to this path instead of running experiments")
-		planTrace   = flag.Bool("plan-trace", false, "run the adaptive (-flow auto) cases once and print their per-iteration plan traces instead of running experiments")
+		planTrace   = flag.Bool("plan-trace", false, "run the adaptive (-flow auto) cases once — in-memory and streamed over a grid store — and print their per-iteration plan traces instead of running experiments")
 	)
 	flag.Parse()
 
@@ -84,7 +84,7 @@ func main() {
 			os.Exit(1)
 		}
 		for _, tr := range traces {
-			fmt.Printf("%-24s %2d iterations  %s\n", tr.Name, tr.Iterations, tr.PlanTrace)
+			fmt.Printf("%-28s %2d iterations  %s\n", tr.Name, tr.Iterations, tr.PlanTrace)
 		}
 		if *perfJSON == "" {
 			return

@@ -16,8 +16,9 @@
 //	egraph -algorithm pagerank -generate twitter -scale 20 -layout grid -flow pull -sync nolock
 //	egraph -algorithm sssp -input edges.txt -format text -layout adjacency
 //	egraph -algorithm wcc -generate road -scale 9 -layout edgearray
-//	egraph -algorithm pagerank -store rmat20.egs -membudget 64
+//	egraph -algorithm pagerank -store rmat20.egs -membudget 64 -prefetch 4
 //	egraph -algorithm wcc -store rmat20u.egs -store-device ssd
+//	egraph -algorithm pagerank -store rmat20.egs -flow auto -cost-cache costs.json
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"strings"
 
 	everythinggraph "github.com/epfl-repro/everythinggraph"
+	"github.com/epfl-repro/everythinggraph/internal/costcache"
 	"github.com/epfl-repro/everythinggraph/internal/metrics"
 )
 
@@ -48,13 +50,15 @@ func main() {
 		prIters   = flag.Int("pagerank-iterations", 10, "PageRank iteration count")
 		workers   = flag.Int("workers", 0, "worker count (0 = all CPUs)")
 		storePath = flag.String("store", "", "run out-of-core over this partitioned grid store (see gengraph -format store)")
-		memBudget = flag.Int64("membudget", 0, "resident edge-buffer budget in MiB for -store runs (0 = 256)")
+		memBudget = flag.Int64("membudget", 0, "resident edge-buffer budget in MiB for -store runs (0 = 256); -flow auto plans the working budget per iteration under this ceiling")
+		prefetch  = flag.Int("prefetch", 0, "per-worker prefetch depth for -store runs (0 = 2); -flow auto adapts it per iteration from the measured I/O wait")
 		storeDev  = flag.String("store-device", "none", "virtual device pacing for -store runs: none | ssd | hdd")
+		costCache = flag.String("cost-cache", "", "JSON cost cache for -flow auto: seed the planner's cost model with this dataset's measured per-edge plan costs and append this run's measurements")
 		verbose   = flag.Bool("v", false, "print per-iteration statistics")
 	)
 	flag.Parse()
 
-	cfg := everythinggraph.Config{Workers: *workers, GridP: *gridP, MemoryBudget: *memBudget << 20}
+	cfg := everythinggraph.Config{Workers: *workers, GridP: *gridP, MemoryBudget: *memBudget << 20, PrefetchDepth: *prefetch}
 	var err error
 	if cfg.Layout, err = parseLayout(*layoutF); err != nil {
 		fatal(err)
@@ -76,8 +80,19 @@ func main() {
 		}
 	}
 
+	// The cost cache keys runs by algorithm plus dataset — file name
+	// (stores, edge lists) or generator and scale; the store path wins
+	// because a store run never touches the generator flags.
+	datasetPath := *storePath
+	if datasetPath == "" {
+		datasetPath = *input
+	}
+	graphKey := costcache.Key(*algorithm, datasetPath, *generate, *scale)
+	cache := loadCostPriors(*costCache, graphKey, &cfg)
+
 	if *storePath != "" {
-		runStore(*storePath, *algorithm, cfg, *storeDev, everythinggraph.VertexID(*source), *prIters, *verbose)
+		res := runStore(*storePath, *algorithm, cfg, *storeDev, everythinggraph.VertexID(*source), *prIters, *verbose)
+		saveCostMeasurements(cache, *costCache, graphKey, res.Run.PlanCosts)
 		return
 	}
 
@@ -109,10 +124,46 @@ func main() {
 	}
 	printIterations(res.Run.PerIteration, *verbose)
 	printAlgorithmSummary(alg)
+	saveCostMeasurements(cache, *costCache, graphKey, res.Run.PlanCosts)
+}
+
+// loadCostPriors opens the cost cache (when configured) and seeds the
+// config's cost model with the dataset's cached measurements. Only the
+// adaptive planner consumes them, so the flag demands -flow auto instead of
+// being silently ignored.
+func loadCostPriors(path, graphKey string, cfg *everythinggraph.Config) *costcache.File {
+	if path == "" {
+		return nil
+	}
+	if cfg.Flow != everythinggraph.FlowAuto {
+		fatal(fmt.Errorf("-cost-cache feeds the adaptive planner; it requires -flow auto"))
+	}
+	cache, err := costcache.Load(path)
+	if err != nil {
+		fatal(err)
+	}
+	if priors := cache.Priors(graphKey); len(priors) > 0 {
+		cfg.CostPriors = priors
+		fmt.Printf("cost cache: seeded %d measured plan costs for %s\n", len(priors), graphKey)
+	}
+	return cache
+}
+
+// saveCostMeasurements merges a run's measured plan costs into the cache
+// and writes it back.
+func saveCostMeasurements(cache *costcache.File, path, graphKey string, costs map[string]float64) {
+	if cache == nil || len(costs) == 0 {
+		return
+	}
+	cache.Record(graphKey, costs)
+	if err := cache.Save(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("cost cache: recorded %d measured plan costs for %s\n", len(costs), graphKey)
 }
 
 // runStore executes an algorithm out-of-core over a partitioned grid store.
-func runStore(path, algorithm string, cfg everythinggraph.Config, device string, source everythinggraph.VertexID, prIters int, verbose bool) {
+func runStore(path, algorithm string, cfg everythinggraph.Config, device string, source everythinggraph.VertexID, prIters int, verbose bool) *everythinggraph.Result {
 	st, err := everythinggraph.OpenStore(path)
 	if err != nil {
 		fatal(err)
@@ -155,6 +206,7 @@ func runStore(path, algorithm string, cfg everythinggraph.Config, device string,
 		io.Reads, float64(io.BytesRead)/(1<<20), float64(io.PeakResidentBytes)/(1<<20))
 	printIterations(res.Run.PerIteration, verbose)
 	printAlgorithmSummary(alg)
+	return res
 }
 
 // printIterations prints the per-iteration table when verbose is set.

@@ -260,8 +260,19 @@ type Config struct {
 	PushPullAlpha int
 	// MemoryBudget bounds the resident edge-buffer bytes of out-of-core
 	// (Store) runs; in-memory runs ignore it. 0 selects the default
-	// (256 MiB).
+	// (256 MiB). Static flows use the whole budget; FlowAuto treats it as
+	// a ceiling and plans the working budget per iteration.
 	MemoryBudget int64
+	// PrefetchDepth is the per-worker prefetch pipeline depth of
+	// out-of-core (Store) runs: how many segment buffers each worker keeps
+	// in rotation (0 = 2, classic double buffering). Static flows pin it;
+	// FlowAuto starts there and adapts per iteration from the measured
+	// I/O-wait breakdown.
+	PrefetchDepth int
+	// CostPriors seeds FlowAuto's cost model with measured per-edge plan
+	// costs from an earlier run (see Result.Run.PlanCosts and
+	// internal/costcache); static flows reject it.
+	CostPriors map[string]float64
 }
 
 // Result reports one end-to-end run.
@@ -380,6 +391,7 @@ func (g *Graph) Run(alg Algorithm, cfg Config) (*Result, error) {
 		PushPullAlpha:   cfg.PushPullAlpha,
 		MaxIterations:   cfg.MaxIterations,
 		RecordFrontiers: cfg.RecordFrontiers,
+		CostPriors:      cfg.CostPriors,
 	}
 	res, err := core.Run(g.g, alg, engineCfg)
 	if err != nil {
@@ -467,6 +479,8 @@ func (st *Store) Run(alg Algorithm, cfg Config) (*Result, error) {
 		MaxIterations:   cfg.MaxIterations,
 		RecordFrontiers: cfg.RecordFrontiers,
 		MemoryBudget:    cfg.MemoryBudget,
+		PrefetchDepth:   cfg.PrefetchDepth,
+		CostPriors:      cfg.CostPriors,
 	}
 	before := st.s.Stats()
 	res, err := core.RunStreamed(st.s, alg, engineCfg)

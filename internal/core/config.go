@@ -86,6 +86,32 @@ func (s SyncMode) String() string {
 // exceed |E|/alpha (Beamer's heuristic as adopted by Ligra).
 const DefaultPushPullAlpha = 20
 
+// Streamed (out-of-core) I/O knob bounds, shared by the planners and the
+// stream sources so a plan's I/O recipe and a source's buffer pool agree on
+// the legal range.
+const (
+	// DefaultStreamMemoryBudget bounds resident edge buffers when no budget
+	// is configured (256 MiB).
+	DefaultStreamMemoryBudget = 256 << 20
+	// DefaultPrefetchDepth is the per-worker prefetch pipeline depth when
+	// none is configured: classic double buffering.
+	DefaultPrefetchDepth = 2
+	// MinPrefetchDepth is the shallowest useful pipeline (below two slots
+	// there is nothing to overlap).
+	MinPrefetchDepth = 2
+	// MaxPrefetchDepth caps how deep the adaptive planner will pipeline.
+	MaxPrefetchDepth = 8
+	// MinStreamSliceEdges is the slice granularity below which streaming
+	// degenerates (per-read overheads dominate); sources shed workers and
+	// planners cap the pipeline depth before slices shrink past it.
+	MinStreamSliceEdges = 64
+	// StreamResidentEdgeBytes is what one buffered edge costs while
+	// resident: its 12-byte stored record plus its 12-byte decoded form.
+	// It is the unit both the planner's budget arithmetic and the sources'
+	// buffer pools size against, so the two always agree on what fits.
+	StreamResidentEdgeBytes = 24
+)
+
 // Config selects the techniques for a run.
 type Config struct {
 	// Layout selects the data layout to iterate over. The corresponding
@@ -108,8 +134,21 @@ type Config struct {
 	RecordFrontiers bool
 	// MemoryBudget bounds the resident edge-buffer bytes of streamed
 	// (out-of-core) execution; it is ignored by in-memory runs. 0 selects
-	// the source's default.
+	// DefaultStreamMemoryBudget. Static flows use the full budget every
+	// pass; Flow == Auto treats it as a ceiling and chooses the working
+	// budget per iteration from the measured IOWait breakdown.
 	MemoryBudget int64
+	// PrefetchDepth is the per-worker prefetch pipeline depth of streamed
+	// execution (0 = DefaultPrefetchDepth, clamped to [MinPrefetchDepth,
+	// MaxPrefetchDepth]); in-memory runs ignore it. Static flows pin it;
+	// Flow == Auto uses it as the starting point and adapts per iteration.
+	PrefetchDepth int
+	// CostPriors seeds the adaptive planner's cost model with measured
+	// per-edge costs from a previous run (ns per scanned edge, keyed by the
+	// plan label, e.g. "adjacency/pull/no-lock") — see Result.PlanCosts for
+	// the matching export and internal/costcache for the on-disk cache.
+	// Only Flow == Auto reads it; setting it on a static flow is rejected.
+	CostPriors map[string]float64
 }
 
 // IterationStats describes one iteration of a run.
@@ -134,6 +173,11 @@ type IterationStats struct {
 	// IOWait is the time compute stalled on storage during this iteration
 	// (zero for in-memory runs; see RunStreamed).
 	IOWait time.Duration
+	// IOHidden is the storage time of this iteration that the prefetch
+	// overlap DID hide behind compute (IOTime - IOWait of the pass, floored
+	// at zero). Recorded alongside IOWait for observability; the adaptive
+	// I/O controller itself moves the knobs from IOWait versus Duration.
+	IOHidden time.Duration
 }
 
 // Result reports a run.
@@ -154,6 +198,12 @@ type Result struct {
 	// IO is the cumulative storage accounting of the run's source (zero
 	// for in-memory runs; see RunStreamed).
 	IO SourceStats
+	// PlanCosts is the adaptive planner's measured per-edge cost per plan
+	// label at the end of the run (ns per scanned edge; nil for static
+	// flows and for runs too small to measure). Feeding it back through
+	// Config.CostPriors lets the next run start from measurements instead
+	// of the hand-ordered priors.
+	PlanCosts map[string]float64
 }
 
 // PlanTrace returns the per-iteration plan labels of the run, in execution
@@ -199,16 +249,22 @@ func ValidateTechniques(layout graph.Layout, flow Flow, sync SyncMode) error {
 	return nil
 }
 
-// validateAlpha rejects a PushPullAlpha that would be silently ignored: the
-// threshold denominator only participates in the dynamic flows, so setting
-// it on a static configuration means the benchmark config lies about what
-// ran.
+// validateAlpha rejects dynamic-flow knobs that would be silently ignored:
+// the threshold denominator and the cost priors only participate in the
+// dynamic flows, so setting them on a static configuration means the
+// benchmark config lies about what ran.
 func (cfg Config) validateAlpha() error {
 	if cfg.PushPullAlpha < 0 {
 		return fmt.Errorf("core: PushPullAlpha must be positive, got %d", cfg.PushPullAlpha)
 	}
 	if cfg.PushPullAlpha != 0 && cfg.Flow != PushPull && cfg.Flow != Auto {
 		return fmt.Errorf("core: PushPullAlpha is only used by the push-pull and auto flows; flow %v would silently ignore it", cfg.Flow)
+	}
+	if cfg.PrefetchDepth < 0 {
+		return fmt.Errorf("core: PrefetchDepth must be non-negative, got %d", cfg.PrefetchDepth)
+	}
+	if len(cfg.CostPriors) > 0 && cfg.Flow != Auto {
+		return fmt.Errorf("core: CostPriors feed the adaptive cost model; flow %v would silently ignore them", cfg.Flow)
 	}
 	return nil
 }

@@ -93,6 +93,9 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 		}
 	}
 	res.AlgorithmTime = time.Since(start)
+	if ap, ok := pl.(*adaptivePlanner); ok {
+		res.PlanCosts = ap.measuredCosts()
+	}
 	return res, nil
 }
 

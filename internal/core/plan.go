@@ -17,8 +17,9 @@ import (
 
 // StepPlan is the fully resolved execution recipe for one iteration: which
 // layout to iterate, in which direction, under which synchronization
-// discipline, and whether the next frontier is built. Flow is always Push
-// or Pull here — the dynamic flows (PushPull, Auto) exist only at the
+// discipline, whether the next frontier is built, and — for streamed
+// (out-of-core) iterations — the I/O recipe of the pass. Flow is always
+// Push or Pull here — the dynamic flows (PushPull, Auto) exist only at the
 // Config level and are resolved by the planner before execution.
 type StepPlan struct {
 	Layout graph.Layout
@@ -27,11 +28,59 @@ type StepPlan struct {
 	// Tracked reports whether the iteration builds a next frontier (false
 	// for dense algorithms that process the whole graph every iteration).
 	Tracked bool
+	// IO is the I/O dimension of a streamed iteration: how deep each worker
+	// prefetches and how much resident buffer memory the pass may use. It is
+	// the zero IOPlan for in-memory iterations.
+	IO IOPlan
 }
 
-// String returns the "layout/flow/sync" label used in plan traces.
+// IOPlan is the I/O dimension of a streamed StepPlan. Static configurations
+// pin it to the configured knobs; the adaptive planner moves it between
+// iterations using the measured IOWait/IOHidden breakdown.
+type IOPlan struct {
+	// PrefetchDepth is the number of segment buffers each worker keeps in
+	// rotation (2 = classic double buffering). 0 marks an in-memory plan.
+	PrefetchDepth int
+	// MemoryBudget bounds the resident edge-buffer bytes of the pass.
+	MemoryBudget int64
+}
+
+// String renders the I/O recipe as "[d<depth> <budget>]".
+func (io IOPlan) String() string {
+	return fmt.Sprintf("[d%d %s]", io.PrefetchDepth, formatBytes(io.MemoryBudget))
+}
+
+// formatBytes renders a byte count with the largest binary unit that divides
+// it exactly, so plan traces stay short for the power-of-two budgets the
+// planner uses.
+func formatBytes(n int64) string {
+	switch {
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dMiB", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dKiB", n>>10)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// String returns the "layout/flow/sync" label used in plan traces, with the
+// I/O recipe appended for streamed plans. In-memory plans render exactly as
+// before the IO dimension existed, keeping recorded traces comparable.
 func (p StepPlan) String() string {
+	if p.IO.PrefetchDepth > 0 {
+		return fmt.Sprintf("%v/%v/%v%v", p.Layout, p.Flow, p.Sync, p.IO)
+	}
 	return fmt.Sprintf("%v/%v/%v", p.Layout, p.Flow, p.Sync)
+}
+
+// key returns the plan with its I/O dimension cleared — the identity used to
+// match a plan back to its planner candidate and to label cost measurements:
+// the I/O knobs tune how a pass is fed, not which kernel executes, so cost
+// bookkeeping is keyed by {layout, flow, sync, tracked} alone.
+func (p StepPlan) key() StepPlan {
+	p.IO = IOPlan{}
+	return p
 }
 
 // planner chooses the StepPlan for each iteration and receives the measured
@@ -86,6 +135,7 @@ type fixedPlanner struct {
 	env  plannerEnv
 	plan StepPlan // Flow holds the resolved static direction
 	flow Flow     // the configured flow (may be PushPull)
+	io   *ioPlanner
 }
 
 func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMode) *fixedPlanner {
@@ -114,10 +164,200 @@ func (p *fixedPlanner) Next(_ int, f *graph.Frontier) StepPlan {
 			plan.Flow = Push
 		}
 	}
+	if p.io != nil {
+		plan.IO = p.io.current()
+	}
 	return plan
 }
 
 func (p *fixedPlanner) Observe(StepPlan, IterationStats) {}
+
+// I/O-planner thresholds. An iteration counts as I/O-bound when the
+// measured stall fraction (IOWait / wall time) reaches ioRaiseWaitFraction,
+// and as comfortably compute-bound below ioShrinkWaitFraction; in between,
+// the knobs hold still. Shrinking additionally waits for ioCalmIterations
+// consecutive compute-bound iterations so one lucky pass cannot strip the
+// pipeline that made it lucky.
+const (
+	ioRaiseWaitFraction  = 0.25
+	ioShrinkWaitFraction = 0.02
+	ioCalmIterations     = 2
+	// ioBudgetFloorDiv bounds how far the adaptive planner sheds memory: the
+	// budget never drops below cap/ioBudgetFloorDiv.
+	ioBudgetFloorDiv = 4
+)
+
+// ioLastAction remembers the planner's previous knob move so an over-shrink
+// can be recognized and undone (see observe).
+type ioLastAction int
+
+const (
+	ioActNone ioLastAction = iota
+	ioActShrunkBudget
+	ioActShrunkDepth
+)
+
+// ioPlanner drives the I/O dimension of streamed plans. Static
+// configurations construct it fixed: the knobs pin to the configured values
+// for the whole run. Under Flow == Auto it is a small feedback controller
+// over the per-iteration IOWait breakdown:
+//
+//   - while I/O wait dominates the iteration, deepen the prefetch pipeline
+//     (x2 up to MaxPrefetchDepth) so more reads overlap compute, then widen
+//     the buffers (x2 up to the configured cap) so each read moves more;
+//   - while iterations are comfortably compute-bound, give memory back:
+//     halve the budget down to cap/4, then shallow the pipeline back toward
+//     MinPrefetchDepth;
+//   - a shrink that turns the next iteration I/O-bound is undone and the
+//     pre-shrink level becomes a floor, so the controller settles instead of
+//     oscillating between two tiers.
+//
+// The knobs only change how a pass is fed — column ownership and the
+// per-column row order are untouched — so adapting them never perturbs
+// result bits, and dense algorithms adapt I/O even while their {layout,
+// flow, sync} choice is frozen for reproducibility.
+type ioPlanner struct {
+	fixed bool
+	cur   IOPlan
+	cap   int64 // configured budget ceiling
+	// workers normalizes the stall fraction: IterationStats.IOWait sums
+	// stalls across workers while Duration is wall time, so the comparable
+	// per-worker fraction is IOWait / (Duration * workers). Callers pass
+	// the streaming-effective count (clamped to the grid dimension and
+	// budget-shed, see streamWorkers), not the configured one.
+	workers int
+	// depthCap is the deepest pipeline the budget can feed without slices
+	// shrinking below MinStreamSliceEdges — the same bound the source's
+	// buffer pool enforces, so a planned depth is always the executed
+	// depth and the recorded plan never claims a pipeline the pass could
+	// not run.
+	depthCap int
+	// Floors raised by shrink-reversals (and initialized to the hard
+	// minima), below which the shrink path never goes again.
+	budgetFloor int64
+	depthFloor  int
+	calm        int
+	last        ioLastAction
+}
+
+// newIOPlanner resolves the configured knobs (applying defaults and clamps)
+// and builds the controller. Adaptive runs start from half the budget cap
+// at the default depth — the controller earns the rest when the IOWait
+// breakdown shows the pass is starved, and sheds toward cap/4 when it is
+// not; fixed runs pin the configured values exactly.
+func newIOPlanner(cfg Config, workers int, adaptive bool) *ioPlanner {
+	budget := cfg.MemoryBudget
+	if budget <= 0 {
+		budget = DefaultStreamMemoryBudget
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	depth := cfg.PrefetchDepth
+	if depth <= 0 {
+		depth = DefaultPrefetchDepth
+	}
+	if depth < MinPrefetchDepth {
+		depth = MinPrefetchDepth
+	}
+	p := &ioPlanner{
+		fixed:       !adaptive,
+		cur:         IOPlan{PrefetchDepth: depth, MemoryBudget: budget},
+		cap:         budget,
+		workers:     workers,
+		depthCap:    StreamDepthCap(workers, budget),
+		budgetFloor: budget / ioBudgetFloorDiv,
+		depthFloor:  MinPrefetchDepth,
+	}
+	// The floor must also keep slices non-degenerate at the shallowest
+	// pipeline: worker shedding only guarantees the budget CEILING feeds
+	// every worker minBuf-sized slices, so shrinking toward cap/4 could
+	// otherwise starve a many-worker pass that the ceiling comfortably fed.
+	if feed := int64(workers) * MinPrefetchDepth * MinStreamSliceEdges * StreamResidentEdgeBytes; p.budgetFloor < feed {
+		p.budgetFloor = feed
+	}
+	if p.budgetFloor < 1 {
+		p.budgetFloor = 1
+	}
+	if adaptive {
+		if half := budget / 2; half >= p.budgetFloor {
+			p.cur.MemoryBudget = half
+		}
+	}
+	if ceil := p.depthCeil(); p.cur.PrefetchDepth > ceil {
+		p.cur.PrefetchDepth = ceil
+	}
+	return p
+}
+
+// depthCeil is the deepest pipeline the CURRENT working budget can feed
+// without slices degenerating below MinStreamSliceEdges — the budget-cap
+// ceiling tightened whenever the working budget has been shed below the
+// cap, so no knob combination the planner emits produces degenerate
+// slices.
+func (p *ioPlanner) depthCeil() int {
+	return min(p.depthCap, StreamDepthCap(p.workers, p.cur.MemoryBudget))
+}
+
+// current returns the I/O recipe for the iteration about to execute.
+func (p *ioPlanner) current() IOPlan { return p.cur }
+
+// observe folds one iteration's measured I/O breakdown into the knobs.
+func (p *ioPlanner) observe(stats IterationStats) {
+	if p.fixed || stats.Duration <= 0 {
+		return
+	}
+	wait := float64(stats.IOWait) / (float64(stats.Duration) * float64(p.workers))
+	switch {
+	case wait >= ioRaiseWaitFraction:
+		p.calm = 0
+		switch p.last {
+		case ioActShrunkBudget:
+			// The shrink starved the pass: undo it and never shrink past
+			// this level again.
+			p.cur.MemoryBudget = min(p.cap, p.cur.MemoryBudget*2)
+			p.budgetFloor = p.cur.MemoryBudget
+		case ioActShrunkDepth:
+			p.cur.PrefetchDepth = min(p.depthCeil(), p.cur.PrefetchDepth*2)
+			p.depthFloor = p.cur.PrefetchDepth
+		default:
+			if ceil := p.depthCeil(); p.cur.PrefetchDepth < ceil {
+				p.cur.PrefetchDepth = min(ceil, p.cur.PrefetchDepth*2)
+			} else if p.cur.MemoryBudget < p.cap {
+				p.cur.MemoryBudget = min(p.cap, p.cur.MemoryBudget*2)
+			}
+		}
+		p.last = ioActNone
+	case wait <= ioShrinkWaitFraction:
+		// A calm iteration proves the previous shrink (if any) did not
+		// starve the pass: only a shrink that turns the NEXT iteration
+		// I/O-bound is treated as an over-shrink, so the marker must not
+		// survive past this observation.
+		p.last = ioActNone
+		p.calm++
+		if p.calm < ioCalmIterations {
+			return
+		}
+		p.calm = 0
+		if half := p.cur.MemoryBudget / 2; half >= p.budgetFloor {
+			p.cur.MemoryBudget = half
+			p.last = ioActShrunkBudget
+			// Keep the slices non-degenerate: a smaller working budget may
+			// no longer feed the current pipeline depth.
+			if ceil := p.depthCeil(); p.cur.PrefetchDepth > ceil {
+				p.cur.PrefetchDepth = ceil
+			}
+		} else if half := p.cur.PrefetchDepth / 2; half >= p.depthFloor {
+			p.cur.PrefetchDepth = half
+			p.last = ioActShrunkDepth
+		}
+	default:
+		// Neither bound dominates: the knobs are where the workload wants
+		// them.
+		p.calm = 0
+		p.last = ioActNone
+	}
+}
 
 // Cost-model priors: assumed nanoseconds per scanned edge before any
 // measurement exists. Absolute values are irrelevant — only the ordering
@@ -189,26 +429,76 @@ type adaptivePlanner struct {
 	candidates []planCandidate
 	measured   []float64 // ns/edge EWMA per candidate; 0 = unmeasured
 	frozen     int       // dense algorithms: candidate locked at iteration 0; -1 while unset
+	io         *ioPlanner
 }
 
-func newAdaptivePlanner(env plannerEnv, candidates []planCandidate) *adaptivePlanner {
-	return &adaptivePlanner{
+func newAdaptivePlanner(env plannerEnv, candidates []planCandidate, priors map[string]float64) *adaptivePlanner {
+	p := &adaptivePlanner{
 		env:        env,
 		candidates: candidates,
 		measured:   make([]float64, len(candidates)),
 		frozen:     -1,
 	}
+	// Persisted measurements from a previous run seed the starting EWMA (so
+	// a tracked run's first cost comparison uses them) and the prior (so a
+	// dense run's frozen choice does, too). The hand priors are only an
+	// ordering while measurements are real nanoseconds, so the two scales
+	// must never be compared directly: the unmeasured candidates' priors
+	// are rescaled by the seeded candidates' mean measured/prior ratio,
+	// which puts every candidate on the measured scale while preserving
+	// the hand ordering among still-unmeasured plans. Unknown keys and
+	// non-positive values are ignored.
+	var ratioSum float64
+	var seeded int
+	for i := range p.candidates {
+		if per, ok := priors[p.candidates[i].plan.key().String()]; ok && per > 0 {
+			p.measured[i] = per
+			ratioSum += per / p.candidates[i].prior
+			seeded++
+		}
+	}
+	if seeded > 0 {
+		scale := ratioSum / float64(seeded)
+		for i := range p.candidates {
+			if p.measured[i] > 0 {
+				p.candidates[i].prior = p.measured[i]
+			} else {
+				p.candidates[i].prior *= scale
+			}
+		}
+	}
+	return p
+}
+
+// measuredCosts exports the candidates' measured (or cache-seeded) per-edge
+// costs keyed by plan label, the payload persisted by the cost cache.
+func (p *adaptivePlanner) measuredCosts() map[string]float64 {
+	out := make(map[string]float64, len(p.candidates))
+	for i, c := range p.candidates {
+		if p.measured[i] > 0 {
+			out[c.plan.key().String()] = p.measured[i]
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 func (p *adaptivePlanner) Next(_ int, f *graph.Frontier) StepPlan {
+	var plan StepPlan
 	if !p.env.tracked {
 		if p.frozen < 0 {
 			p.frozen = p.cheapestPrior()
 		}
-		return p.candidates[p.frozen].plan
+		plan = p.candidates[p.frozen].plan
+	} else {
+		plan = p.candidates[p.cheapest(p.direction(f), f)].plan
 	}
-	flow := p.direction(f)
-	return p.candidates[p.cheapest(flow, f)].plan
+	if p.io != nil {
+		plan.IO = p.io.current()
+	}
+	return plan
 }
 
 // cheapestPrior returns the candidate with the lowest prior per-edge cost —
@@ -311,11 +601,17 @@ func oppositeFlow(flow Flow) Flow {
 }
 
 // Observe folds the measured iteration cost into the candidate's per-edge
-// estimate with latest-wins weighting.
+// estimate with latest-wins weighting, and feeds the I/O breakdown to the
+// I/O controller on streamed runs. Candidates match on the plan's key — the
+// I/O knobs vary per iteration without multiplying the cost model's arms.
 func (p *adaptivePlanner) Observe(plan StepPlan, stats IterationStats) {
+	if p.io != nil {
+		p.io.observe(stats)
+	}
+	key := plan.key()
 	idx := -1
 	for i, c := range p.candidates {
-		if c.plan == plan {
+		if c.plan == key {
 			idx = i
 			break
 		}
@@ -370,7 +666,7 @@ func newPlanner(g *graph.Graph, cfg Config, r *runner, alpha int, tracked bool) 
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("core: auto flow found no runnable layout (build adjacency lists, a grid, or supply edges)")
 	}
-	return newAdaptivePlanner(env, candidates), nil
+	return newAdaptivePlanner(env, candidates, cfg.CostPriors), nil
 }
 
 // autoCandidates enumerates the plans the adaptive planner may choose among
@@ -431,9 +727,12 @@ func residentScanEdges(g *graph.Graph) int64 {
 
 // newStreamPlanner builds the planner for a streamed (out-of-core) run:
 // layout and sync are pinned by the store's column-ownership argument, so
-// only the direction is planned — statically, by the shared threshold, or
-// adaptively for Flow == Auto.
-func newStreamPlanner(src Source, cfg Config, alpha int, tracked bool) planner {
+// the plannable dimensions are the direction and the I/O knobs — pinned to
+// the configured values by the fixedPlanner for static flows, moved online
+// by the adaptive planner (direction from the frontier thresholds, prefetch
+// depth and memory budget from the measured IOWait breakdown) for
+// Flow == Auto.
+func newStreamPlanner(src Source, cfg Config, workers, alpha int, tracked bool) planner {
 	env := plannerEnv{
 		numVertices: src.NumVertices(),
 		totalEdges:  src.NumEdges(),
@@ -442,9 +741,11 @@ func newStreamPlanner(src Source, cfg Config, alpha int, tracked bool) planner {
 		// No resident out index: the count heuristic decides direction.
 	}
 	if cfg.Flow != Auto {
-		return newFixedPlanner(env, graph.LayoutGrid, cfg.Flow, SyncPartitionFree)
+		p := newFixedPlanner(env, graph.LayoutGrid, cfg.Flow, SyncPartitionFree)
+		p.io = newIOPlanner(cfg, workers, false)
+		return p
 	}
-	return newAdaptivePlanner(env, []planCandidate{
+	p := newAdaptivePlanner(env, []planCandidate{
 		{
 			plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Tracked: tracked},
 			prior:    priorGridPush,
@@ -455,5 +756,7 @@ func newStreamPlanner(src Source, cfg Config, alpha int, tracked bool) planner {
 			prior:    priorGridPull,
 			fullScan: true,
 		},
-	})
+	}, cfg.CostPriors)
+	p.io = newIOPlanner(cfg, workers, true)
+	return p
 }

@@ -19,9 +19,18 @@ type StreamOptions struct {
 	// Workers is the number of compute workers (column owners).
 	Workers int
 	// MemoryBudget bounds the bytes of resident edge buffers across all
-	// workers (raw segment bytes plus decoded edges). 0 selects the
-	// source's default.
+	// workers (raw segment bytes plus decoded edges) during this pass. 0
+	// selects the source's default.
 	MemoryBudget int64
+	// MemoryBudgetCap is the stable ceiling MemoryBudget will ever reach
+	// across the run's passes — the size a source may build its recycled
+	// buffer pool for, so per-pass budget changes reuse buffers instead of
+	// reallocating. 0 means MemoryBudget is the ceiling.
+	MemoryBudgetCap int64
+	// PrefetchDepth is the number of segment buffers each worker keeps in
+	// rotation during this pass (0 selects DefaultPrefetchDepth; sources
+	// clamp to [MinPrefetchDepth, MaxPrefetchDepth]).
+	PrefetchDepth int
 }
 
 // SourceStats is the cumulative I/O accounting of a source. The engine
@@ -149,8 +158,14 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	res := &Result{Algorithm: alg.Name()}
 
 	r := newStreamRunner(src, alg, workers)
-	pl := newStreamPlanner(src, cfg, alpha, !alg.Dense())
-	opt := StreamOptions{Workers: workers, MemoryBudget: cfg.MemoryBudget}
+	// The pool ceiling is the configured budget: the planner's per-pass
+	// budgets only ever move below it, so the source sizes its recycled
+	// buffers once.
+	budgetCap := cfg.MemoryBudget
+	if budgetCap <= 0 {
+		budgetCap = DefaultStreamMemoryBudget
+	}
+	pl := newStreamPlanner(src, cfg, streamWorkers(src, workers, budgetCap), alpha, !alg.Dense())
 
 	start := time.Now()
 	for iter := 0; ; iter++ {
@@ -173,6 +188,12 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 			Plan:           plan,
 			UsedPull:       plan.Flow == Pull,
 		}
+		opt := StreamOptions{
+			Workers:         workers,
+			MemoryBudget:    plan.IO.MemoryBudget,
+			MemoryBudgetCap: budgetCap,
+			PrefetchDepth:   plan.IO.PrefetchDepth,
+		}
 
 		next, err := r.step(frontier, plan.Flow == Pull, opt)
 		if err != nil {
@@ -180,7 +201,11 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 		}
 
 		stats.Duration = time.Since(iterStart)
-		stats.IOWait = src.Stats().Sub(before).IOWait
+		io := src.Stats().Sub(before)
+		stats.IOWait = io.IOWait
+		if hidden := io.IOTime - io.IOWait; hidden > 0 {
+			stats.IOHidden = hidden
+		}
 		res.PerIteration = append(res.PerIteration, stats)
 		res.Iterations++
 		pl.Observe(plan, stats)
@@ -195,7 +220,54 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	}
 	res.AlgorithmTime = time.Since(start)
 	res.IO = src.Stats()
+	if ap, ok := pl.(*adaptivePlanner); ok {
+		res.PlanCosts = ap.measuredCosts()
+	}
 	return res, nil
+}
+
+// StreamExecWorkers returns the number of workers a streamed pass actually
+// runs: the requested count clamped to the grid dimension (one worker per
+// column at most) and shed while the budget cannot feed every worker's
+// minimal buffers (a starved slice costs every read, a shed worker only
+// costs parallelism). It is THE definition — sources' buffer pools and the
+// I/O planner both call it, so the planner's stall-fraction normalization
+// and depth ceiling always describe the parallelism that actually executes.
+func StreamExecWorkers(gridP, workers int, budgetCap int64) int {
+	if gridP > 0 && workers > gridP {
+		workers = gridP
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	for workers > 1 && int64(workers)*MinPrefetchDepth*MinStreamSliceEdges*StreamResidentEdgeBytes > budgetCap {
+		workers--
+	}
+	return workers
+}
+
+// StreamDepthCap returns the deepest prefetch pipeline the budget can feed
+// across the given workers without slices degenerating below
+// MinStreamSliceEdges, clamped to [MinPrefetchDepth, MaxPrefetchDepth].
+// Shared by the I/O planner (its raise ceiling) and the sources' buffer
+// pools (their ring size), so a planned depth is always an executed depth.
+func StreamDepthCap(workers int, budgetCap int64) int {
+	if workers < 1 {
+		workers = 1
+	}
+	depth := int(budgetCap / (int64(workers) * MinStreamSliceEdges * StreamResidentEdgeBytes))
+	if depth < MinPrefetchDepth {
+		depth = MinPrefetchDepth
+	}
+	if depth > MaxPrefetchDepth {
+		depth = MaxPrefetchDepth
+	}
+	return depth
+}
+
+// streamWorkers resolves StreamExecWorkers for a source.
+func streamWorkers(src Source, workers int, budgetCap int64) int {
+	return StreamExecWorkers(src.GridP(), workers, budgetCap)
 }
 
 // streamRunner owns the per-run state of a streamed execution: the

@@ -126,6 +126,12 @@ func TestCompressPlanTrace(t *testing.T) {
 			[]string{"a/push/atomics", "a/pull/no-lock", "a/pull/no-lock", "a/push/atomics"},
 			"a/push/atomics -> a/pull/no-lock x2 -> a/push/atomics",
 		},
+		{
+			// Streamed plans carry an I/O suffix; a knob change alone is a
+			// new run in the trace.
+			[]string{"grid/push/no-lock[d2 16MiB]", "grid/push/no-lock[d4 16MiB]", "grid/push/no-lock[d4 16MiB]"},
+			"grid/push/no-lock[d2 16MiB] -> grid/push/no-lock[d4 16MiB] x2",
+		},
 	}
 	for _, c := range cases {
 		if got := CompressPlanTrace(c.in); got != c.want {

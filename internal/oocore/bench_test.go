@@ -44,6 +44,24 @@ func BenchmarkStreamedPageRank(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamedPageRankIter measures one steady-state streamed
+// iteration: with the slot rings and fetchers recycled by the store's pool,
+// every pass after warmup must be allocation-free.
+func BenchmarkStreamedPageRankIter(b *testing.B) {
+	s := benchStore(b, 16)
+	cfg := core.Config{
+		Layout: graph.LayoutGrid, Flow: core.Push, Sync: core.SyncPartitionFree,
+		MemoryBudget: 32 << 20,
+	}
+	pr := algorithms.NewPageRank()
+	pr.Iterations = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := core.RunStreamed(s, pr, cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkStreamPass measures one raw streamed pass (no algorithm): the
 // ceiling set by the prefetch pipeline itself.
 func BenchmarkStreamPass(b *testing.B) {

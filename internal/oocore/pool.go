@@ -1,0 +1,327 @@
+package oocore
+
+import (
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/core"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
+	"github.com/epfl-repro/everythinggraph/internal/storage"
+)
+
+// This file is the streamed executor's recycled machinery. A streamed pass
+// used to allocate its segment buffers, one goroutine and one channel per
+// read — thousands of allocations per pass on a 256x256 grid. The pool
+// replaces all of it with state that lives as long as the store:
+//
+//   - every column group owns a ring of prefetch slots (raw segment bytes
+//     plus decoded edges), allocated once and sized so the whole pool never
+//     exceeds the run's budget ceiling;
+//   - every group owns one persistent fetcher goroutine that parks on a
+//     request channel between passes, so a pass spawns nothing;
+//   - fetcher and compute worker exchange slot *indexes* over two
+//     fixed-capacity channels (filled, freed), so the per-slice protocol is
+//     two channel operations and zero allocations.
+//
+// Per-pass knobs (prefetch depth, memory budget) select how much of the
+// allocated ring a pass actually uses: depth picks the number of slots in
+// rotation, the budget bounds the slice length fetched into each slot.
+// Changing them between iterations — what the adaptive planner does —
+// therefore reuses the same buffers instead of reallocating.
+
+// passReq describes one pass over a group's columns, handed to its fetcher.
+type passReq struct {
+	colLo, colHi int
+	depth        int
+	bufEdges     int
+}
+
+// slot is one prefetch buffer of a group's ring. raw and edges are views
+// into the group's arenas, re-carved by the fetcher at every pass so that
+// any pipeline depth can spend the whole per-group budget: at depth d each
+// in-rotation slot owns a 1/d share of the arena.
+type slot struct {
+	raw   []byte
+	edges []graph.Edge
+	n     int
+}
+
+// group is one column group: its buffer arenas and slot ring, its parked
+// fetcher, and the index channels the fetcher and the compute worker
+// exchange slots over.
+type group struct {
+	// rawArena and edgeArena back every slot of the ring; their capacity is
+	// the group's share of the pool's budget ceiling.
+	rawArena  []byte
+	edgeArena []graph.Edge
+	slots     []slot
+	// req carries one passReq per pass; closing it retires the fetcher.
+	req chan passReq
+	// filled delivers filled slot indexes to the compute worker, -1
+	// terminating the pass. Capacity depthCap+1 so the sentinel never
+	// blocks behind unconsumed slots.
+	filled chan int
+	// freed returns consumed slot indexes to the fetcher. Capacity depthCap
+	// so returning never blocks.
+	freed chan int
+	// free is the fetcher's pass-local free-slot stack, kept here so a pass
+	// allocates nothing.
+	free []int
+}
+
+// streamPool is the per-store recycled streaming state. It is (re)built
+// when the pass shape it was sized for changes — a different worker count
+// or budget ceiling — and reused across every pass and run in between.
+type streamPool struct {
+	store   *Store
+	workers int
+	cap     int64 // budget ceiling the arenas are sized for
+	// depthCap is the deepest prefetch pipeline the budget can feed without
+	// slices degenerating (mirrored by the planner's depth ceiling);
+	// arenaEdges is each group's arena capacity — workers*arenaEdges edges
+	// fit the ceiling by construction, whatever depth carves them up.
+	depthCap   int
+	arenaEdges int
+	maxSeg     int   // largest coalesced read any group issues
+	bounds     []int // column partition (workers+1 boundaries)
+	groups     []group
+	body       func(worker, lo, hi int) // compute fan-out body, bound once
+
+	// Per-pass state, set by beginPass before the fan-out starts.
+	depth    int
+	bufEdges int
+	visit    func(worker int, edges []graph.Edge)
+	abort    streamAbort
+}
+
+// poolParams resolves the pass shape that determines the pool build: the
+// worker count (grid-clamped and budget-shed by the shared
+// core.StreamExecWorkers rule, so the planner's view of the parallelism is
+// exactly what runs) and the budget ceiling buffers are sized for.
+func (s *Store) poolParams(opt core.StreamOptions) (workers int, budgetCap int64) {
+	workers = opt.Workers
+	if workers <= 0 {
+		workers = sched.MaxWorkers()
+	}
+	budgetCap = opt.MemoryBudgetCap
+	if budgetCap < opt.MemoryBudget {
+		budgetCap = opt.MemoryBudget
+	}
+	if budgetCap <= 0 {
+		budgetCap = DefaultMemoryBudget
+	}
+	return core.StreamExecWorkers(s.header.P, workers, budgetCap), budgetCap
+}
+
+// ensurePoolLocked returns the store's pool, (re)building it when the pass
+// shape changed. Steady-state passes hit the comparison and reuse. Caller
+// holds poolMu.
+func (s *Store) ensurePoolLocked(opt core.StreamOptions) *streamPool {
+	workers, budgetCap := s.poolParams(opt)
+	if p := s.pool; p != nil && p.workers == workers && p.cap == budgetCap {
+		return p
+	}
+	s.stopPoolLocked()
+	s.pool = s.buildPool(workers, budgetCap)
+	return s.pool
+}
+
+// buildPool allocates the arenas and starts the fetchers. Each group's
+// arena is its share of the ceiling (so a depth-2 pass uses the whole
+// budget in two big slices, a depth-8 pass the same budget in eight smaller
+// ones), clamped to depthCap times the largest coalesced read any group can
+// issue — a larger arena would never fill. depthCap is the deepest pipeline
+// the ceiling can feed without slices degenerating (core.StreamDepthCap,
+// the same bound the planner raises against, so planned depth == executed
+// depth).
+func (s *Store) buildPool(workers int, budgetCap int64) *streamPool {
+	bounds := partitionColumns(s.colEdges, workers)
+	depthCap := core.StreamDepthCap(workers, budgetCap)
+	maxSeg := maxRowSegmentEdges(s.cellIndex, s.header.P, bounds)
+	arenaEdges := int(budgetCap / (int64(workers) * residentEdgeBytes))
+	if maxSeg > 0 && arenaEdges > maxSeg*depthCap {
+		arenaEdges = maxSeg * depthCap
+	}
+	if arenaEdges < depthCap {
+		arenaEdges = depthCap // one edge per slot, degenerate but safe
+	}
+
+	p := &streamPool{
+		store:      s,
+		workers:    workers,
+		cap:        budgetCap,
+		depthCap:   depthCap,
+		arenaEdges: arenaEdges,
+		maxSeg:     maxSeg,
+		bounds:     bounds,
+		groups:     make([]group, workers),
+	}
+	for i := range p.groups {
+		g := &p.groups[i]
+		g.rawArena = make([]byte, arenaEdges*storage.EdgeBytes)
+		g.edgeArena = make([]graph.Edge, arenaEdges)
+		g.slots = make([]slot, depthCap)
+		g.req = make(chan passReq)
+		g.filled = make(chan int, depthCap+1)
+		g.freed = make(chan int, depthCap)
+		g.free = make([]int, 0, depthCap)
+		go p.fetchLoop(g)
+	}
+	p.body = func(_, lo, hi int) {
+		for g := lo; g < hi; g++ {
+			p.runGroup(g)
+		}
+	}
+	return p
+}
+
+// stopPoolLocked retires the pool's fetchers. Caller holds poolMu, so no
+// pass is in flight.
+func (s *Store) stopPoolLocked() {
+	if s.pool == nil {
+		return
+	}
+	for i := range s.pool.groups {
+		close(s.pool.groups[i].req)
+	}
+	s.pool = nil
+}
+
+// beginPass resolves the per-pass knobs against the allocated arenas:
+// depth ≤ depthCap slots in rotation, each owning a 1/depth share of its
+// group's arena, with slices additionally bounded by the pass budget and by
+// the largest read that can ever fill (maxSeg).
+func (p *streamPool) beginPass(opt core.StreamOptions, visit func(worker int, edges []graph.Edge)) {
+	depth := opt.PrefetchDepth
+	if depth <= 0 {
+		depth = core.DefaultPrefetchDepth
+	}
+	if depth < core.MinPrefetchDepth {
+		depth = core.MinPrefetchDepth
+	}
+	if depth > p.depthCap {
+		depth = p.depthCap
+	}
+	budget := opt.MemoryBudget
+	if budget <= 0 {
+		budget = p.cap
+	}
+	bufEdges := int(budget / (int64(p.workers) * int64(depth) * residentEdgeBytes))
+	if share := p.arenaEdges / depth; bufEdges > share {
+		bufEdges = share
+	}
+	if p.maxSeg > 0 && bufEdges > p.maxSeg {
+		bufEdges = p.maxSeg
+	}
+	if bufEdges < 1 {
+		bufEdges = 1
+	}
+	p.depth, p.bufEdges, p.visit = depth, bufEdges, visit
+	p.abort.reset()
+}
+
+// runGroup is the compute side of one group's pass: request the pass from
+// the parked fetcher, then consume filled slots in order until the
+// sentinel. The in-rotation buffers are accounted resident for the pass.
+func (p *streamPool) runGroup(gi int) {
+	if p.bounds[gi] >= p.bounds[gi+1] {
+		return
+	}
+	g := &p.groups[gi]
+	s := p.store
+
+	resident := int64(p.depth) * int64(p.bufEdges) * residentEdgeBytes
+	s.stats.addResident(resident)
+	defer s.stats.addResident(-resident)
+
+	g.req <- passReq{colLo: p.bounds[gi], colHi: p.bounds[gi+1], depth: p.depth, bufEdges: p.bufEdges}
+	for {
+		t0 := time.Now()
+		idx := <-g.filled
+		s.stats.ioWaitNanos.Add(int64(time.Since(t0)))
+		if idx < 0 {
+			return
+		}
+		if !p.abort.flag.Load() {
+			sl := &g.slots[idx]
+			p.visit(gi, sl.edges[:sl.n])
+		}
+		g.freed <- idx
+	}
+}
+
+// fetchLoop is a group's persistent fetcher: it parks on the request
+// channel between passes and retires when the channel closes (pool rebuild
+// or store close).
+func (p *streamPool) fetchLoop(g *group) {
+	for req := range g.req {
+		p.fetchPass(g, req)
+	}
+}
+
+// fetchPass streams the group's columns once: for every owned row, the
+// contiguous (row x owned-columns) file segment is fetched as one coalesced
+// read, split into budget-bounded slices, each slice read into a free slot
+// and handed to the compute worker in order. Row-ascending order per column
+// is what keeps streamed results bit-identical to the in-memory grid path;
+// the slot ring only changes how far ahead of the consumer the reads run.
+func (p *streamPool) fetchPass(g *group, req passReq) {
+	s := p.store
+	gp := s.header.P
+	free := g.free[:0]
+	for i := req.depth - 1; i >= 0; i-- {
+		free = append(free, i)
+	}
+	// Carve the arena into the pass's in-rotation slots: slot i owns the
+	// bufEdges-wide span starting at i*bufEdges (depth*bufEdges edges fit
+	// the arena by beginPass's arithmetic).
+	for i := 0; i < req.depth; i++ {
+		base := i * req.bufEdges
+		g.slots[i].raw = g.rawArena[base*storage.EdgeBytes : (base+req.bufEdges)*storage.EdgeBytes]
+		g.slots[i].edges = g.edgeArena[base : base+req.bufEdges]
+	}
+
+	row := 0
+	var segPos, segEnd uint64
+pass:
+	for {
+		for segPos >= segEnd {
+			if row >= gp {
+				break pass
+			}
+			segPos = s.cellIndex[row*gp+req.colLo]
+			segEnd = s.cellIndex[row*gp+req.colHi]
+			row++
+		}
+		if p.abort.flag.Load() {
+			break
+		}
+		n := int(segEnd - segPos)
+		if n > req.bufEdges {
+			n = req.bufEdges
+		}
+		var idx int
+		if len(free) > 0 {
+			idx = free[len(free)-1]
+			free = free[:len(free)-1]
+		} else {
+			idx = <-g.freed
+		}
+		sl := &g.slots[idx]
+		sl.n = n
+		if err := s.readSegment(sl.raw[:n*storage.EdgeBytes], int64(segPos), sl.edges[:n]); err != nil {
+			p.abort.set(err)
+			free = append(free, idx)
+			break
+		}
+		segPos += uint64(n)
+		g.filled <- idx
+	}
+	g.filled <- -1
+	// Reclaim every slot still with the consumer so the next pass starts
+	// with a clean ring (conservation: depth slots are either on the free
+	// stack or will come back through freed).
+	for out := req.depth - len(free); out > 0; out-- {
+		<-g.freed
+	}
+}

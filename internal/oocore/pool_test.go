@@ -1,0 +1,268 @@
+package oocore
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/core"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/storage"
+)
+
+// These tests cover the recycled streaming pool: the zero-allocation
+// steady-state contract, budget shedding and prefetch starvation under a
+// slow device (the -race targets of the acceptance criteria), per-pass knob
+// changes without pool rebuilds, and fetcher recovery after an aborted
+// pass.
+
+func countingVisit(total *int64) func(int, []graph.Edge) {
+	return func(_ int, edges []graph.Edge) { atomic.AddInt64(total, int64(len(edges))) }
+}
+
+func TestStreamPassSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	g := testGraph(t, 12, false)
+	s := buildTestStore(t, g, 8, false)
+	opt := coreStreamOpts(0, 1<<20)
+	var total int64
+	visit := countingVisit(&total)
+	// Warm the pool, the fetchers and the sched loop protocol.
+	for i := 0; i < 3; i++ {
+		if err := s.StreamCells(opt, visit); err != nil {
+			t.Fatalf("warmup pass: %v", err)
+		}
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := s.StreamCells(opt, visit); err != nil {
+			t.Fatalf("measured pass: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state pass allocates %v objects, want 0", allocs)
+	}
+	if total == 0 {
+		t.Fatal("visit never ran")
+	}
+}
+
+func TestStreamedPageRankUnderSlowDeviceAndShedding(t *testing.T) {
+	// The acceptance scenario: a paced slow device keeps every fetcher
+	// starved while a budget far below the requested parallelism forces
+	// worker shedding. The run must complete (no pipeline deadlock), stay
+	// within the budget, and stay bit-identical to the in-memory grid path.
+	g := testGraph(t, 10, false)
+	const p = 8
+	grid := memGrid(t, g, p, false)
+	g.Grid = grid
+	prMem := algorithms.NewPageRank()
+	prMem.Iterations = 3
+	if _, err := core.Run(g, prMem, gridConfig(core.Push)); err != nil {
+		t.Fatalf("in-memory run: %v", err)
+	}
+
+	s := buildTestStore(t, g, p, false)
+	s.SetDevice(storage.Device{Name: "slow", BandwidthMBps: 24}, true)
+	const budget = 4 << 10 // below two workers' minimum buffers: sheds an 8-requested-worker pass down to one
+	prOOC := algorithms.NewPageRank()
+	prOOC.Iterations = 3
+	cfg := core.Config{
+		Layout: graph.LayoutGrid, Flow: core.Push, Sync: core.SyncPartitionFree,
+		Workers: 8, MemoryBudget: budget,
+	}
+	res, err := core.RunStreamed(s, prOOC, cfg)
+	if err != nil {
+		t.Fatalf("streamed run: %v", err)
+	}
+	if res.Iterations != 3 {
+		t.Fatalf("streamed ran %d iterations, want 3", res.Iterations)
+	}
+	workers, _ := s.poolParams(core.StreamOptions{Workers: 8, MemoryBudget: budget})
+	if workers != 1 {
+		t.Fatalf("budget %d shed to %d workers, want 1", budget, workers)
+	}
+	for v := range prMem.Rank {
+		if prOOC.Rank[v] != prMem.Rank[v] {
+			t.Fatalf("rank[%d] = %v streamed, %v in-memory", v, prOOC.Rank[v], prMem.Rank[v])
+		}
+	}
+	if peak := s.Stats().PeakResidentBytes; peak == 0 || peak > budget {
+		t.Fatalf("peak resident %d bytes outside budget %d", peak, budget)
+	}
+	if s.Stats().IOWait == 0 {
+		t.Fatal("paced device produced no measured I/O wait")
+	}
+}
+
+func TestStreamCellsKnobChangesReusePool(t *testing.T) {
+	g := testGraph(t, 10, true)
+	s := buildTestStore(t, g, 8, false)
+	const budgetCap = 1 << 20
+
+	want := edgeMultiset(g.EdgeArray.Edges)
+	run := func(opt core.StreamOptions) {
+		t.Helper()
+		var mu, total = make(chan struct{}, 1), []graph.Edge(nil)
+		mu <- struct{}{}
+		err := s.StreamCells(opt, func(_ int, edges []graph.Edge) {
+			<-mu
+			total = append(total, edges...)
+			mu <- struct{}{}
+		})
+		if err != nil {
+			t.Fatalf("StreamCells: %v", err)
+		}
+		got := edgeMultiset(total)
+		for e, n := range want {
+			if got[e] != n {
+				t.Fatalf("opt %+v: edge %v delivered %d times, want %d", opt, e, got[e], n)
+			}
+		}
+		if st := s.Stats(); st.PeakResidentBytes > budgetCap {
+			t.Fatalf("peak resident %d exceeds the cap %d", st.PeakResidentBytes, budgetCap)
+		}
+	}
+
+	// First pass builds the pool at the cap; every later pass varies the
+	// per-iteration knobs (depth, budget tier) the way the adaptive planner
+	// does and must reuse the same pool — same buffers, same fetchers.
+	run(core.StreamOptions{Workers: 4, MemoryBudget: budgetCap, MemoryBudgetCap: budgetCap})
+	built := s.pool
+	if built == nil {
+		t.Fatal("no pool after first pass")
+	}
+	for _, opt := range []core.StreamOptions{
+		{Workers: 4, MemoryBudget: budgetCap / 2, MemoryBudgetCap: budgetCap, PrefetchDepth: 4},
+		{Workers: 4, MemoryBudget: budgetCap / 4, MemoryBudgetCap: budgetCap, PrefetchDepth: 8},
+		{Workers: 4, MemoryBudget: budgetCap, MemoryBudgetCap: budgetCap, PrefetchDepth: 2},
+	} {
+		run(opt)
+		if s.pool != built {
+			t.Fatalf("knob change %+v rebuilt the pool", opt)
+		}
+	}
+
+	// A different worker count is a different pass shape: rebuild expected.
+	run(core.StreamOptions{Workers: 2, MemoryBudget: budgetCap, MemoryBudgetCap: budgetCap})
+	if s.pool == built {
+		t.Fatal("worker-count change did not rebuild the pool")
+	}
+}
+
+func TestFixedDepthPassSpendsTheWholeBudget(t *testing.T) {
+	// A default (depth-2) pass must be able to put the whole budget in
+	// rotation — the arena is carved per pass, not pre-split for the
+	// deepest pipeline. With cells far larger than the budget the slices
+	// saturate, so peak resident accounting must exceed half the budget
+	// (a depthCap-presized ring would cap it at budget/depthCap per slot,
+	// i.e. a quarter).
+	g := testGraph(t, 12, false)
+	s := buildTestStore(t, g, 2, false) // 2x2 grid: row segments dwarf the budget
+	const budget = 64 << 10
+	var total int64
+	if err := s.StreamCells(core.StreamOptions{Workers: 1, MemoryBudget: budget}, countingVisit(&total)); err != nil {
+		t.Fatalf("StreamCells: %v", err)
+	}
+	peak := s.Stats().PeakResidentBytes
+	if peak > budget {
+		t.Fatalf("peak resident %d exceeds budget %d", peak, budget)
+	}
+	if peak <= budget/2 {
+		t.Fatalf("depth-2 pass kept only %d of %d resident; the ring is not spending the budget", peak, budget)
+	}
+}
+
+// flakyBackend fails every read after the trigger fires.
+type flakyBackend struct {
+	data []byte
+	fail atomic.Bool
+}
+
+var errFlaky = errors.New("injected read failure")
+
+func (b *flakyBackend) ReadAt(p []byte, off int64) (int, error) {
+	if b.fail.Load() {
+		return 0, errFlaky
+	}
+	return bytes.NewReader(b.data).ReadAt(p, off)
+}
+
+func TestStreamCellsRecoversAfterReadError(t *testing.T) {
+	g := testGraph(t, 10, false)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flaky.egs")
+	if _, err := BuildStoreFromGraph(path, g, 8, false); err != nil {
+		t.Fatalf("BuildStoreFromGraph: %v", err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backend := &flakyBackend{data: img}
+	s, err := NewStore(backend, int64(len(img)))
+	if err != nil {
+		t.Fatalf("NewStore: %v", err)
+	}
+	defer s.Close()
+
+	opt := coreStreamOpts(4, 64<<10)
+	var total int64
+	if err := s.StreamCells(opt, countingVisit(&total)); err != nil {
+		t.Fatalf("healthy pass: %v", err)
+	}
+
+	backend.fail.Store(true)
+	if err := s.StreamCells(opt, countingVisit(&total)); !errors.Is(err, errFlaky) {
+		t.Fatalf("failing pass returned %v, want the injected error", err)
+	}
+
+	// The fetchers and slot rings must come out of the aborted pass clean:
+	// the next healthy pass delivers every edge again.
+	backend.fail.Store(false)
+	total = 0
+	if err := s.StreamCells(opt, countingVisit(&total)); err != nil {
+		t.Fatalf("recovery pass: %v", err)
+	}
+	if total != int64(g.NumEdges()) {
+		t.Fatalf("recovery pass delivered %d edges, want %d", total, g.NumEdges())
+	}
+	if passes := s.Stats().Passes; passes != 2 {
+		t.Fatalf("completed passes = %d, want 2 (the aborted pass must not count)", passes)
+	}
+}
+
+func TestStreamedAutoAdaptsAndStaysIdentical(t *testing.T) {
+	// Adaptive streamed PageRank under a real store: the I/O knobs may move
+	// between iterations, but the result must stay bit-identical to the
+	// fixed streamed (and hence the in-memory grid) run.
+	g := testGraph(t, 12, false)
+	const p = 8
+	s := buildTestStore(t, g, p, false)
+	prFixed := algorithms.NewPageRank()
+	if _, err := core.RunStreamed(s, prFixed, streamConfig(core.Push, 1<<20)); err != nil {
+		t.Fatalf("fixed streamed run: %v", err)
+	}
+
+	s2 := buildTestStore(t, g, p, false)
+	prAuto := algorithms.NewPageRank()
+	res, err := core.RunStreamed(s2, prAuto, core.Config{Flow: core.Auto, MemoryBudget: 1 << 20})
+	if err != nil {
+		t.Fatalf("auto streamed run: %v", err)
+	}
+	for v := range prFixed.Rank {
+		if prAuto.Rank[v] != prFixed.Rank[v] {
+			t.Fatalf("rank[%d] = %v auto, %v fixed", v, prAuto.Rank[v], prFixed.Rank[v])
+		}
+	}
+	for _, it := range res.PerIteration {
+		if it.Plan.IO.PrefetchDepth == 0 || it.Plan.IO.MemoryBudget == 0 {
+			t.Fatalf("iteration %d has no I/O plan: %v", it.Iteration, it.Plan)
+		}
+	}
+}

@@ -3,7 +3,6 @@ package oocore
 import (
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/epfl-repro/everythinggraph/internal/core"
 	"github.com/epfl-repro/everythinggraph/internal/graph"
@@ -11,16 +10,19 @@ import (
 	"github.com/epfl-repro/everythinggraph/internal/storage"
 )
 
-// This file is the streaming executor: one StreamCells call is one full
-// pass over the grid, with columns partitioned among workers (the grid's
-// partition-free ownership, Section 6.1.2) and every worker double-buffering
-// its segment reads so the next slice is in flight while the current one is
-// being computed on — the same overlap idea the paper applies to loading
-// vs. pre-processing (Section 3.4), applied per cell.
+// This file is the streaming executor's entry point: one StreamCells call is
+// one full pass over the grid, with columns partitioned among workers (the
+// grid's partition-free ownership, Section 6.1.2) and every worker's segment
+// reads prefetched through a ring of recycled slots so the next slices are
+// in flight while the current one is being computed on — the same overlap
+// idea the paper applies to loading vs. pre-processing (Section 3.4),
+// applied per cell. The rings, their fetcher goroutines and every per-pass
+// buffer live in the store's streamPool (see pool.go), so steady-state
+// passes allocate nothing.
 
 // DefaultMemoryBudget bounds resident edge buffers when the caller does not
 // configure a budget (256 MiB).
-const DefaultMemoryBudget = 256 << 20
+const DefaultMemoryBudget = core.DefaultStreamMemoryBudget
 
 // decodedEdgeBytes is the in-memory size of one decoded graph.Edge (two
 // uint32 ids plus a float32 weight, 4-byte aligned).
@@ -30,45 +32,19 @@ const decodedEdgeBytes = 12
 // on-disk record plus its decoded form, both held by a slot.
 const residentEdgeBytes = storage.EdgeBytes + decodedEdgeBytes
 
-// minBufEdges is the slice granularity below which streaming degenerates
-// (per-read overheads dominate); the planner sheds workers before letting
-// buffers shrink past it.
-const minBufEdges = 64
+// The planner sizes its budget arithmetic with core.StreamResidentEdgeBytes;
+// this compile-time check keeps the two definitions from drifting apart.
+const _ = uint(residentEdgeBytes-core.StreamResidentEdgeBytes) +
+	uint(core.StreamResidentEdgeBytes-residentEdgeBytes)
 
-// planStream resolves the worker count and per-slot buffer size for a pass:
-// every worker owns two slots (the double buffer), each slot holds bufEdges
-// edges in raw+decoded form, and workers*2*bufEdges*residentEdgeBytes never
-// exceeds the budget. Workers are shed before buffers shrink below
-// minBufEdges, because a starved buffer costs every read while a shed
-// worker only costs parallelism.
-func (s *Store) planStream(opt core.StreamOptions) (workers, bufEdges int) {
-	workers = opt.Workers
-	if workers <= 0 {
-		workers = sched.MaxWorkers()
-	}
-	if workers > s.header.P {
-		workers = s.header.P
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	budget := opt.MemoryBudget
-	if budget <= 0 {
-		budget = DefaultMemoryBudget
-	}
-	for workers > 1 && int64(workers)*2*minBufEdges*residentEdgeBytes > budget {
-		workers--
-	}
-	bufEdges = int(budget / (int64(workers) * 2 * residentEdgeBytes))
-	if bufEdges < 1 {
-		bufEdges = 1
-	}
-	return workers, bufEdges
-}
+// The slice granularity below which streaming degenerates is
+// core.MinStreamSliceEdges, shared with the planner: worker shedding
+// (core.StreamExecWorkers) and the depth ceiling (core.StreamDepthCap) are
+// both derived from it, on both sides of the Source boundary.
 
 // maxRowSegmentEdges returns the edge count of the largest coalesced read
 // any group will issue — the longest (row x owned-columns) segment. A
-// buffer beyond that never fills, so planStream's allocation (and the
+// buffer beyond that never fills, so the pool's slot allocation (and the
 // resident accounting) is capped there when the budget is generous.
 func maxRowSegmentEdges(cellIndex []uint64, p int, bounds []int) int {
 	var maxN uint64
@@ -111,7 +87,9 @@ func partitionColumns(colEdges []uint64, workers int) []int {
 	return bounds
 }
 
-// streamAbort propagates the first error across a pass's workers.
+// streamAbort propagates the first error across a pass's workers. It is
+// owned by the pool and recycled: reset rearms it for the next pass, take
+// consumes the pass's verdict.
 type streamAbort struct {
 	flag atomic.Bool
 	mu   sync.Mutex
@@ -127,137 +105,38 @@ func (a *streamAbort) set(err error) {
 	a.flag.Store(true)
 }
 
+func (a *streamAbort) reset() {
+	a.mu.Lock()
+	a.err = nil
+	a.mu.Unlock()
+	a.flag.Store(false)
+}
+
+func (a *streamAbort) take() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.err
+}
+
 // StreamCells implements core.Source: one full pass over every cell, with
 // column ownership, row-ascending order within each column, and per-worker
-// double-buffered asynchronous segment reads. The compute fan-out runs on
-// the persistent sched pool; each in-flight read is a short-lived fetch
-// goroutine (the pool's workers are busy computing, which is the point).
+// prefetch through the store's recycled slot rings. The compute fan-out
+// runs on the persistent sched pool; the reads run on the pool's persistent
+// per-group fetchers (the sched workers are busy computing, which is the
+// point). Passes on one store are serialized: the pool's buffers are the
+// store's streaming state.
 func (s *Store) StreamCells(opt core.StreamOptions, visit func(worker int, edges []graph.Edge)) error {
-	workers, bufEdges := s.planStream(opt)
-	bounds := partitionColumns(s.colEdges, workers)
-	if maxSeg := maxRowSegmentEdges(s.cellIndex, s.header.P, bounds); maxSeg > 0 && bufEdges > maxSeg {
-		bufEdges = maxSeg
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	p := s.ensurePoolLocked(opt)
+	p.beginPass(opt, visit)
+	sched.ParallelForWorker(0, p.workers, 1, p.workers, p.body)
+	p.visit = nil
+	if err := p.abort.take(); err != nil {
+		return err
 	}
-	var abort streamAbort
-	sched.ParallelForWorker(0, workers, 1, workers, func(_, lo, hi int) {
-		for g := lo; g < hi; g++ {
-			s.streamGroup(g, bounds[g], bounds[g+1], bufEdges, visit, &abort)
-		}
-	})
-	abort.mu.Lock()
-	defer abort.mu.Unlock()
-	if abort.err == nil {
-		// Only completed passes count; an aborted pass did not cover every
-		// cell and must not skew per-pass I/O averages.
-		s.stats.passes.Add(1)
-	}
-	return abort.err
-}
-
-// sliceDesc is one bounded read: n edges starting at edge offset off.
-type sliceDesc struct {
-	off uint64
-	n   int
-}
-
-// slot is one half of a worker's double buffer.
-type slot struct {
-	raw   []byte
-	edges []graph.Edge
-	n     int
-	err   error
-	done  chan struct{}
-}
-
-// streamGroup streams every cell of columns [colLo, colHi) through a
-// two-slot prefetch pipeline: while slice i is being visited, slice i+1 is
-// already being fetched into the other slot.
-//
-// Iteration is row-major over the owned columns: cells (row, colLo..colHi)
-// are contiguous in the row-major file, so each row of the group coalesces
-// into ONE sequential read instead of colHi-colLo tiny ones. Ownership and
-// determinism are unaffected — every destination lives in exactly one
-// column of the group, and its cells are still visited in ascending row
-// order, the same per-destination order as the in-memory grid path (which
-// is what keeps streamed floating-point results bit-identical).
-func (s *Store) streamGroup(group, colLo, colHi, bufEdges int, visit func(worker int, edges []graph.Edge), abort *streamAbort) {
-	if colLo >= colHi {
-		return
-	}
-	p := s.header.P
-
-	// Resident accounting: both slots' raw and decoded buffers, allocated
-	// up front, counted against the budget for the group's lifetime.
-	resident := int64(2) * int64(bufEdges) * residentEdgeBytes
-	s.stats.addResident(resident)
-	defer s.stats.addResident(-resident)
-
-	var slots [2]slot
-	for i := range slots {
-		slots[i].raw = make([]byte, bufEdges*storage.EdgeBytes)
-		slots[i].edges = make([]graph.Edge, bufEdges)
-	}
-
-	// Lazy slice iterator: one coalesced segment per owned row, split into
-	// budget-bounded slices.
-	row := 0
-	var segPos, segEnd uint64
-	advance := func() (sliceDesc, bool) {
-		for {
-			if segPos < segEnd {
-				n := int(segEnd - segPos)
-				if n > bufEdges {
-					n = bufEdges
-				}
-				d := sliceDesc{off: segPos, n: n}
-				segPos += uint64(n)
-				return d, true
-			}
-			if row >= p {
-				return sliceDesc{}, false
-			}
-			segPos, segEnd = s.cellIndex[row*p+colLo], s.cellIndex[row*p+colHi]
-			row++
-		}
-	}
-
-	issue := func(sl *slot, d sliceDesc) {
-		sl.n = d.n
-		sl.done = make(chan struct{})
-		go func() {
-			sl.err = s.readSegment(sl.raw[:d.n*storage.EdgeBytes], int64(d.off), sl.edges[:d.n])
-			close(sl.done)
-		}()
-	}
-
-	d, ok := advance()
-	if !ok {
-		return
-	}
-	cur := 0
-	issue(&slots[cur], d)
-	for {
-		nextD, nextOK := advance()
-		if nextOK {
-			issue(&slots[1-cur], nextD)
-		}
-		sl := &slots[cur]
-		t0 := time.Now()
-		<-sl.done
-		s.stats.ioWaitNanos.Add(int64(time.Since(t0)))
-		if sl.err != nil {
-			abort.set(sl.err)
-		}
-		if abort.flag.Load() {
-			if nextOK {
-				<-slots[1-cur].done
-			}
-			return
-		}
-		visit(group, sl.edges[:sl.n])
-		if !nextOK {
-			return
-		}
-		cur = 1 - cur
-	}
+	// Only completed passes count; an aborted pass did not cover every
+	// cell and must not skew per-pass I/O averages.
+	s.stats.passes.Add(1)
+	return nil
 }

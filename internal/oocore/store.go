@@ -50,6 +50,11 @@ type Store struct {
 	devBase     time.Time
 	devOnce     sync.Once
 
+	// pool is the recycled streaming machinery (slot rings, persistent
+	// fetchers); poolMu serializes passes and guards rebuilds. See pool.go.
+	poolMu sync.Mutex
+	pool   *streamPool
+
 	stats sourceStats
 }
 
@@ -171,8 +176,13 @@ func readFullAt(r io.ReaderAt, buf []byte, off int64) (int, error) {
 	return n, err
 }
 
-// Close releases the backing file (no-op for memory backends).
+// Close retires the store's streaming pool (its persistent fetcher
+// goroutines park until then) and releases the backing file (no-op for
+// memory backends).
 func (s *Store) Close() error {
+	s.poolMu.Lock()
+	s.stopPoolLocked()
+	s.poolMu.Unlock()
 	if s.closer != nil {
 		return s.closer.Close()
 	}

@@ -79,6 +79,37 @@ func TestStoreWCCThroughFacade(t *testing.T) {
 	}
 }
 
+func TestStoreAdaptiveIOAndCostExportThroughFacade(t *testing.T) {
+	g := GenerateRMAT(12, 8, 3)
+	st := buildAPIStore(t, g, 8, false)
+	pr := PageRank()
+	res, err := st.Run(pr, Config{Flow: FlowAuto, MemoryBudget: 1 << 20, PrefetchDepth: 4})
+	if err != nil {
+		t.Fatalf("adaptive store run: %v", err)
+	}
+	if len(res.Run.PerIteration) == 0 {
+		t.Fatal("no per-iteration stats")
+	}
+	first := res.Run.PerIteration[0].Plan.IO
+	if first.PrefetchDepth != 4 {
+		t.Fatalf("configured PrefetchDepth not honoured: %v", first)
+	}
+	if first.MemoryBudget <= 0 || first.MemoryBudget > 1<<20 {
+		t.Fatalf("planned budget %d outside the configured ceiling", first.MemoryBudget)
+	}
+	if len(res.Run.PlanCosts) == 0 {
+		t.Fatal("adaptive run exported no measured plan costs")
+	}
+	// Feeding the measurements back must be accepted by FlowAuto and
+	// rejected by static flows.
+	if _, err := st.Run(PageRank(), Config{Flow: FlowAuto, CostPriors: res.Run.PlanCosts}); err != nil {
+		t.Fatalf("seeded adaptive run: %v", err)
+	}
+	if _, err := st.Run(PageRank(), Config{Flow: FlowPush, CostPriors: res.Run.PlanCosts}); err == nil {
+		t.Fatal("CostPriors on a static flow was not rejected")
+	}
+}
+
 func TestStoreSimulatedDeviceAccounting(t *testing.T) {
 	g := GenerateRMAT(10, 8, 5)
 	st := buildAPIStore(t, g, 4, false)
