@@ -37,6 +37,6 @@ bench-adaptive:
 
 # Archive the machine-readable perf trajectory. Bump the number when a PR
 # records a new baseline (BENCH_<pr>.json).
-BENCH_JSON ?= BENCH_4.json
+BENCH_JSON ?= BENCH_5.json
 bench-json:
 	$(GO) run ./cmd/benchrunner -perf-json $(BENCH_JSON)

@@ -13,6 +13,7 @@
 //
 //	egraph -algorithm bfs -generate rmat -scale 20 -layout adjacency -flow push -sync atomics
 //	egraph -algorithm bfs -generate rmat -scale 20 -flow auto -v
+//	egraph -algorithm pagerank -generate rmat -scale 16 -layout grid -p 256 -flow auto -v
 //	egraph -algorithm pagerank -generate twitter -scale 20 -layout grid -flow pull -sync nolock
 //	egraph -algorithm sssp -input edges.txt -format text -layout adjacency
 //	egraph -algorithm wcc -generate road -scale 9 -layout edgearray
@@ -45,7 +46,8 @@ func main() {
 		flowF     = flag.String("flow", "push", "push | pull | pushpull | auto (adaptive planner)")
 		syncF     = flag.String("sync", "atomics", "locks | atomics | nolock")
 		prepF     = flag.String("prep", "radix", "dynamic | count | radix")
-		gridP     = flag.Int("p", 0, "grid dimension for -layout grid (0 = paper's 256, clamped for small graphs)")
+		gridP     = flag.Int("p", 0, "grid dimension for -layout grid (0 = paper's 256, clamped for small graphs and oversized requests)")
+		gridLvls  = flag.Int("grid-levels", 0, "grid-resolution policy over the grid pyramid: with -flow auto, consider the finest N levels (0 = all); with -layout grid and a static flow, pin the N-th level (1 = materialized P, 2 = P/2, ...)")
 		source    = flag.Uint("source", 0, "source vertex for bfs/sssp")
 		prIters   = flag.Int("pagerank-iterations", 10, "PageRank iteration count")
 		workers   = flag.Int("workers", 0, "worker count (0 = all CPUs)")
@@ -58,7 +60,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := everythinggraph.Config{Workers: *workers, GridP: *gridP, MemoryBudget: *memBudget << 20, PrefetchDepth: *prefetch}
+	cfg := everythinggraph.Config{Workers: *workers, GridP: *gridP, GridLevels: *gridLvls, MemoryBudget: *memBudget << 20, PrefetchDepth: *prefetch}
 	var err error
 	if cfg.Layout, err = parseLayout(*layoutF); err != nil {
 		fatal(err)

@@ -245,8 +245,16 @@ type Config struct {
 	// own directedness.
 	Undirected *bool
 	// GridP is the grid dimension (0 = the paper's 256, clamped for small
-	// graphs).
+	// graphs and — for oversized requests — by LLC fit).
 	GridP int
+	// GridLevels is the grid-resolution policy over the grid pyramid (the
+	// virtual coarser views the prep builders attach to every grid). With
+	// FlowAuto, N > 0 restricts the planner to the finest N resolutions and
+	// 0 (the default) lets it choose among every level; on a static grid
+	// configuration N > 0 pins execution to the N-th level (1 = the
+	// materialized grid, 2 = P/2, ...). Static flows on other layouts and
+	// Store runs reject it.
+	GridLevels int
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
 	// MaxIterations caps the engine iterations (0 = no cap).
@@ -389,6 +397,7 @@ func (g *Graph) Run(alg Algorithm, cfg Config) (*Result, error) {
 		Sync:            cfg.Sync,
 		Workers:         cfg.Workers,
 		PushPullAlpha:   cfg.PushPullAlpha,
+		GridLevels:      cfg.GridLevels,
 		MaxIterations:   cfg.MaxIterations,
 		RecordFrontiers: cfg.RecordFrontiers,
 		CostPriors:      cfg.CostPriors,
@@ -476,6 +485,7 @@ func (st *Store) Run(alg Algorithm, cfg Config) (*Result, error) {
 		Sync:            SyncPartitionFree,
 		Workers:         cfg.Workers,
 		PushPullAlpha:   cfg.PushPullAlpha,
+		GridLevels:      cfg.GridLevels,
 		MaxIterations:   cfg.MaxIterations,
 		RecordFrontiers: cfg.RecordFrontiers,
 		MemoryBudget:    cfg.MemoryBudget,

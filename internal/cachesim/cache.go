@@ -34,6 +34,41 @@ var MachineB = Config{SizeBytes: 16 << 20, Ways: 16}
 // LLC).
 var MachineA = Config{SizeBytes: 20 << 20, Ways: 20}
 
+// L1D is the per-core L1 data cache of both evaluation machines (32 KB,
+// 8-way) — the innermost level a grid range's vertex metadata can be
+// confined to, and the first one a coarsening step overflows.
+var L1D = Config{SizeBytes: 32 << 10, Ways: 8}
+
+// usableCapacityNum/Den model how much of the nominal capacity a streaming
+// workload can actually keep resident: conflict misses and the edge/index
+// streams flowing through the same sets cost roughly a quarter of the
+// nominal size, matching the effective capacities the replayed traces
+// settle at.
+const (
+	usableCapacityNum = 3
+	usableCapacityDen = 4
+)
+
+// PredictHitRatio estimates the steady-state hit ratio of vertex-metadata
+// accesses whose working set is wsBytes on this cache: 1 while the working
+// set fits the usable capacity, decaying as capacity/workingSet beyond it
+// (uniformly random accesses over a too-large set hit exactly as often as
+// the resident fraction). It is the analytic counterpart of replaying a
+// traversal trace (see trace.go) — cheap enough for a planner to evaluate
+// per candidate at setup, and deterministic, so a prior derived from it
+// never varies between runs.
+func (cfg Config) PredictHitRatio(wsBytes int64) float64 {
+	size := int64(cfg.SizeBytes)
+	if size <= 0 {
+		size = int64(MachineB.SizeBytes)
+	}
+	usable := size * usableCapacityNum / usableCapacityDen
+	if wsBytes <= usable {
+		return 1
+	}
+	return float64(usable) / float64(wsBytes)
+}
+
 // Cache is a set-associative cache with LRU replacement. It tracks accesses
 // and misses; writes and reads are treated identically (write-allocate),
 // which matches the inclusive LLC behaviour relevant to the miss-ratio

@@ -1,0 +1,45 @@
+package cachesim
+
+import (
+	"testing"
+
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+)
+
+// TestDefaultLLCMatchesMachineB pins graph.DefaultLLCBytes to the machine
+// description here: graph cannot import cachesim (the trace replayer imports
+// graph), so the LLC-fit cap in graph.GridPFor carries its own copy of
+// machine B's LLC size, and this test is what keeps the two from drifting.
+func TestDefaultLLCMatchesMachineB(t *testing.T) {
+	if graph.DefaultLLCBytes != int64(MachineB.SizeBytes) {
+		t.Fatalf("graph.DefaultLLCBytes = %d, cachesim.MachineB.SizeBytes = %d; the constants must match",
+			graph.DefaultLLCBytes, MachineB.SizeBytes)
+	}
+}
+
+func TestPredictHitRatio(t *testing.T) {
+	usable := int64(MachineB.SizeBytes) * usableCapacityNum / usableCapacityDen
+	if got := MachineB.PredictHitRatio(0); got != 1 {
+		t.Fatalf("empty working set: hit ratio %v, want 1", got)
+	}
+	if got := MachineB.PredictHitRatio(usable); got != 1 {
+		t.Fatalf("fitting working set: hit ratio %v, want 1", got)
+	}
+	if got := MachineB.PredictHitRatio(2 * usable); got != 0.5 {
+		t.Fatalf("double working set: hit ratio %v, want 0.5", got)
+	}
+	// Monotone: a bigger working set never predicts better.
+	prev := 1.0
+	for ws := int64(1 << 10); ws < int64(MachineB.SizeBytes)*8; ws *= 2 {
+		h := MachineB.PredictHitRatio(ws)
+		if h > prev {
+			t.Fatalf("hit ratio rose from %v to %v at ws=%d", prev, h, ws)
+		}
+		prev = h
+	}
+	// The zero config falls back to machine B instead of dividing by zero.
+	var zero Config
+	if got := zero.PredictHitRatio(1 << 10); got != 1 {
+		t.Fatalf("zero config: hit ratio %v, want 1", got)
+	}
+}

@@ -126,6 +126,18 @@ type Config struct {
 	// PushPullAlpha overrides the direction-switch threshold denominator
 	// (0 = DefaultPushPullAlpha).
 	PushPullAlpha int
+	// GridLevels is the grid-resolution policy over the grid pyramid (the
+	// virtual coarser views of a materialized grid; see graph.GridLevel).
+	// With Flow == Auto, N > 0 restricts the planner to the finest N
+	// resolutions (1 = the materialized grid only, i.e. pre-pyramid
+	// behaviour) and 0 lets it choose among every level. On a static grid
+	// configuration, N > 0 pins execution to the N-th level (1 = finest,
+	// 2 = P/2, ...), clamped to the deepest level built, and 0 runs the
+	// materialized grid exactly as before. Static flows on any other layout
+	// reject it — there is no grid whose resolution it could select. Runs
+	// over a disk store reject it too: the store's resolution is fixed on
+	// disk.
+	GridLevels int
 	// MaxIterations caps the number of iterations (0 = no cap). Algorithms
 	// with a fixed iteration count (PageRank) converge on their own.
 	MaxIterations int
@@ -249,10 +261,11 @@ func ValidateTechniques(layout graph.Layout, flow Flow, sync SyncMode) error {
 	return nil
 }
 
-// validateAlpha rejects dynamic-flow knobs that would be silently ignored:
-// the threshold denominator and the cost priors only participate in the
-// dynamic flows, so setting them on a static configuration means the
-// benchmark config lies about what ran.
+// validateAlpha rejects per-iteration-planning knobs that would be silently
+// ignored: the threshold denominator and the cost priors only participate in
+// the dynamic flows, and the grid-resolution policy needs a grid (any Auto
+// run, or a static grid configuration) to act on — setting them elsewhere
+// means the benchmark config lies about what ran.
 func (cfg Config) validateAlpha() error {
 	if cfg.PushPullAlpha < 0 {
 		return fmt.Errorf("core: PushPullAlpha must be positive, got %d", cfg.PushPullAlpha)
@@ -265,6 +278,12 @@ func (cfg Config) validateAlpha() error {
 	}
 	if len(cfg.CostPriors) > 0 && cfg.Flow != Auto {
 		return fmt.Errorf("core: CostPriors feed the adaptive cost model; flow %v would silently ignore them", cfg.Flow)
+	}
+	if cfg.GridLevels < 0 {
+		return fmt.Errorf("core: GridLevels must be non-negative, got %d", cfg.GridLevels)
+	}
+	if cfg.GridLevels != 0 && cfg.Flow != Auto && cfg.Layout != graph.LayoutGrid {
+		return fmt.Errorf("core: GridLevels selects a grid resolution; a static %v configuration has no grid to apply it to", cfg.Layout)
 	}
 	return nil
 }

@@ -38,7 +38,7 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	}
 
 	r := newRunner(g, alg, cfg, workers)
-	pl, err := newPlanner(g, cfg, r, alpha, !alg.Dense())
+	pl, err := newPlanner(g, cfg, r, alpha, workers, !alg.Dense())
 	if err != nil {
 		return nil, err
 	}
@@ -132,9 +132,14 @@ type runner struct {
 	flip     int
 
 	// Per-iteration inputs read by the loop bodies.
-	active  []graph.VertexID // current active list (push, activeOutEdges)
-	bits    []uint64         // current frontier bitmap (pull, edge, grid)
-	builder *graph.FrontierBuilder
+	active []graph.VertexID // current active list (push, activeOutEdges)
+	bits   []uint64         // current frontier bitmap (pull, edge, grid)
+	level  *graph.GridLevel // pyramid level of the current grid iteration
+	// fineLevel is the runner-local identity view of a grid built outside
+	// prep (no pyramid attached): the engine must never mutate the shared
+	// graph mid-run, so the fallback level is owned here.
+	fineLevel graph.GridLevel
+	builder   *graph.FrontierBuilder
 
 	chunkStarts []int       // edge-balanced chunk boundaries into active
 	degSums     []paddedSum // per-worker out-degree accumulators
@@ -252,16 +257,47 @@ func newRunner(g *graph.Graph, alg Algorithm, cfg Config, workers int) *runner {
 		r.cellPullLocks = r.runCellPullLocks
 		r.cellPullPlain = r.runCellPullPlain
 		grid := g.Grid
+		// The grid bodies execute at whatever pyramid level the plan chose
+		// (r.level, set per iteration by gridStep). A coarse column J covers
+		// the fine columns [Bounds[J], Bounds[J+1]), whose cells are
+		// contiguous per fine row, so the body streams one span per fine
+		// row — ascending fine rows, which fixes the per-destination visit
+		// order identically at every level (bit-reproducibility across
+		// resolutions a run pins). Empty spans cost one index subtraction
+		// (the CellIndex-driven skip that keeps sparse frontiers at coarse
+		// levels free of setup work for untouched ranges).
+		if grid.NumLevels() == 0 {
+			r.fineLevel = grid.FineLevel()
+		}
+		fineP := grid.P
+		edges, cellIndex := grid.Edges, grid.CellIndex
 		r.gridOwnedBody = func(worker, lo, hi int) {
+			// Column ownership at level lv: coarse columns are unions of
+			// fine columns, so their destination ranges stay pairwise
+			// disjoint and the partition-free argument holds per level.
+			lv := r.level
 			for col := lo; col < hi; col++ {
-				for row := 0; row < grid.P; row++ {
-					r.cellFn(worker, grid.Cell(row, col))
+				jLo, jHi := lv.Bounds[col], lv.Bounds[col+1]
+				for row := 0; row < fineP; row++ {
+					base := row * fineP
+					span := edges[cellIndex[base+jLo]:cellIndex[base+jHi]]
+					if len(span) > 0 {
+						r.cellFn(worker, span)
+					}
 				}
 			}
 		}
 		r.gridCellsBody = func(worker, lo, hi int) {
+			lv := r.level
 			for c := lo; c < hi; c++ {
-				r.cellFn(worker, grid.Cell(c/grid.P, c%grid.P))
+				rLo, rHi, cLo, cHi := lv.CellBounds(c/lv.P, c%lv.P)
+				for row := rLo; row < rHi; row++ {
+					base := row * fineP
+					span := edges[cellIndex[base+cLo]:cellIndex[base+cHi]]
+					if len(span) > 0 {
+						r.cellFn(worker, span)
+					}
+				}
 			}
 		}
 	}

@@ -404,7 +404,7 @@ func (r *runner) edgeSpanPlainDense(_, lo, hi int) {
 // with synchronized destination updates (the "grid (locks)" configuration
 // of Figure 8).
 func (r *runner) gridStep(frontier *graph.Frontier, plan StepPlan) *graph.Frontier {
-	grid := r.g.Grid
+	r.level = r.gridLevel(plan)
 	r.bits = frontier.Bitmap()
 	b := r.nextBuilder()
 
@@ -434,16 +434,35 @@ func (r *runner) gridStep(frontier *graph.Frontier, plan StepPlan) *graph.Fronti
 	}
 
 	if owned {
-		// Column ownership: worker processes every cell of its columns.
-		sched.ParallelForWorker(0, grid.P, 1, r.workers, r.gridOwnedBody)
+		// Column ownership: worker processes every span of its (level)
+		// columns.
+		sched.ParallelForWorker(0, r.level.P, 1, r.workers, r.gridOwnedBody)
 	} else {
-		// Cell-parallel with synchronized updates.
-		sched.ParallelForWorker(0, grid.NumCells(), 4, r.workers, r.gridCellsBody)
+		// Cell-parallel with synchronized updates, over the level's cells.
+		sched.ParallelForWorker(0, r.level.P*r.level.P, 4, r.workers, r.gridCellsBody)
 	}
 	if b == nil {
 		return nil
 	}
 	return r.collect(b)
+}
+
+// gridLevel resolves the plan's grid resolution against the pyramid. Plans
+// always carry the level the planner chose; the fallbacks cover grids built
+// outside prep (no pyramid — the runner-local identity level stands in, so
+// the shared graph is never mutated mid-run) and hand-assembled plans in
+// tests.
+func (r *runner) gridLevel(plan StepPlan) *graph.GridLevel {
+	grid := r.g.Grid
+	if plan.GridLevel > 0 {
+		if lv := grid.LevelByP(plan.GridLevel); lv != nil {
+			return lv
+		}
+	}
+	if grid.NumLevels() > 0 {
+		return grid.Level(0)
+	}
+	return &r.fineLevel
 }
 
 // Grid cell functions: one per {owned, atomics, locks, plain} x {push,

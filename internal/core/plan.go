@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"github.com/epfl-repro/everythinggraph/internal/cachesim"
 	"github.com/epfl-repro/everythinggraph/internal/graph"
 )
 
@@ -28,6 +29,14 @@ type StepPlan struct {
 	// Tracked reports whether the iteration builds a next frontier (false
 	// for dense algorithms that process the whole graph every iteration).
 	Tracked bool
+	// GridLevel is the grid resolution (the dimension P) the iteration runs
+	// at, for Layout == LayoutGrid: static configurations pin the
+	// materialized grid's P (or the level Config.GridLevels selects), the
+	// adaptive planner chooses among the pyramid's levels per run. 0 on
+	// non-grid plans. Unlike the I/O knobs it is part of the plan's identity
+	// (key() keeps it): per-edge cost is a property of the resolution — the
+	// whole point of planning it — so cost entries are kept per level.
+	GridLevel int
 	// IO is the I/O dimension of a streamed iteration: how deep each worker
 	// prefetches and how much resident buffer memory the pass may use. It is
 	// the zero IOPlan for in-memory iterations.
@@ -43,10 +52,23 @@ type IOPlan struct {
 	PrefetchDepth int
 	// MemoryBudget bounds the resident edge-buffer bytes of the pass.
 	MemoryBudget int64
+	// StreamWorkers, when non-zero, runs the pass on that many stream
+	// workers instead of the run's full streaming-effective count — the
+	// planner's response to a bandwidth-saturated device once depth and
+	// budget are already at their caps: fewer workers own wider column
+	// groups, so the same bytes arrive through fewer, longer sequential
+	// reads. 0 means the full count (every unshed pass, and all static
+	// configurations).
+	StreamWorkers int
 }
 
-// String renders the I/O recipe as "[d<depth> <budget>]".
+// String renders the I/O recipe as "[d<depth> <budget>]", with the shed
+// worker count appended ("[d<depth> <budget> w<workers>]") while a pass
+// runs below the full stream parallelism.
 func (io IOPlan) String() string {
+	if io.StreamWorkers > 0 {
+		return fmt.Sprintf("[d%d %s w%d]", io.PrefetchDepth, formatBytes(io.MemoryBudget), io.StreamWorkers)
+	}
 	return fmt.Sprintf("[d%d %s]", io.PrefetchDepth, formatBytes(io.MemoryBudget))
 }
 
@@ -64,20 +86,29 @@ func formatBytes(n int64) string {
 	}
 }
 
-// String returns the "layout/flow/sync" label used in plan traces, with the
-// I/O recipe appended for streamed plans. In-memory plans render exactly as
-// before the IO dimension existed, keeping recorded traces comparable.
+// String returns the "layout/flow/sync" label used in plan traces — grid
+// plans carry their resolution as "grid/<P>/flow/sync" — with the I/O recipe
+// appended for streamed plans. Non-grid in-memory plans render exactly as
+// before the IO and resolution dimensions existed, keeping recorded traces
+// comparable.
 func (p StepPlan) String() string {
-	if p.IO.PrefetchDepth > 0 {
-		return fmt.Sprintf("%v/%v/%v%v", p.Layout, p.Flow, p.Sync, p.IO)
+	layout := p.Layout.String()
+	if p.Layout == graph.LayoutGrid && p.GridLevel > 0 {
+		layout = fmt.Sprintf("grid/%d", p.GridLevel)
 	}
-	return fmt.Sprintf("%v/%v/%v", p.Layout, p.Flow, p.Sync)
+	if p.IO.PrefetchDepth > 0 {
+		return fmt.Sprintf("%s/%v/%v%v", layout, p.Flow, p.Sync, p.IO)
+	}
+	return fmt.Sprintf("%s/%v/%v", layout, p.Flow, p.Sync)
 }
 
 // key returns the plan with its I/O dimension cleared — the identity used to
 // match a plan back to its planner candidate and to label cost measurements:
 // the I/O knobs tune how a pass is fed, not which kernel executes, so cost
-// bookkeeping is keyed by {layout, flow, sync, tracked} alone.
+// bookkeeping is keyed by {layout, flow, sync, tracked, grid level} alone.
+// GridLevel deliberately survives: two resolutions execute the same kernel
+// over different access patterns, and keeping their cost entries separate is
+// what lets measurements choose among them.
 func (p StepPlan) key() StepPlan {
 	p.IO = IOPlan{}
 	return p
@@ -138,7 +169,10 @@ type fixedPlanner struct {
 	io   *ioPlanner
 }
 
-func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMode) *fixedPlanner {
+// newFixedPlanner builds the static planner. gridP pins the grid resolution
+// of grid plans (the materialized P, or the pyramid level Config.GridLevels
+// selects); it is 0 for non-grid layouts.
+func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMode, gridP int) *fixedPlanner {
 	resolved := flow
 	if flow == PushPull {
 		resolved = Push // per-iteration; overwritten by Next
@@ -148,9 +182,12 @@ func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMo
 		// direction is not a meaningful choice (Validate rejects PushPull).
 		resolved = Push
 	}
+	if layout != graph.LayoutGrid {
+		gridP = 0
+	}
 	return &fixedPlanner{
 		env:  env,
-		plan: StepPlan{Layout: layout, Flow: resolved, Sync: sync, Tracked: env.tracked},
+		plan: StepPlan{Layout: layout, Flow: resolved, Sync: sync, Tracked: env.tracked, GridLevel: gridP},
 		flow: flow,
 	}
 }
@@ -185,6 +222,15 @@ const (
 	// ioBudgetFloorDiv bounds how far the adaptive planner sheds memory: the
 	// budget never drops below cap/ioBudgetFloorDiv.
 	ioBudgetFloorDiv = 4
+	// ioShedPatience is how many consecutive I/O-bound iterations with depth
+	// AND budget already at their caps the planner tolerates before shedding
+	// stream workers: one capped-and-stalled iteration can be a burst, a
+	// sustained run means the device is bandwidth-saturated and more
+	// parallel readers only add seeks.
+	ioShedPatience = 2
+	// ioWorkerFloorDiv bounds the shedding: the pass never runs below
+	// fullWorkers/ioWorkerFloorDiv workers (and never below 1).
+	ioWorkerFloorDiv = 4
 )
 
 // ioLastAction remembers the planner's previous knob move so an over-shrink
@@ -195,6 +241,7 @@ const (
 	ioActNone ioLastAction = iota
 	ioActShrunkBudget
 	ioActShrunkDepth
+	ioActRegrewWorkers
 )
 
 // ioPlanner drives the I/O dimension of streamed plans. Static
@@ -236,6 +283,14 @@ type ioPlanner struct {
 	// minima), below which the shrink path never goes again.
 	budgetFloor int64
 	depthFloor  int
+	// Worker-count shedding state: workerFloor bounds how far the stream
+	// parallelism sheds, workerCeil is lowered when a regrow immediately
+	// re-saturates the device (the regrow analogue of the shrink-reversal
+	// floors), and sat counts consecutive I/O-bound iterations with depth
+	// and budget already capped (the shed trigger).
+	workerFloor int
+	workerCeil  int
+	sat         int
 	calm        int
 	last        ioLastAction
 }
@@ -268,6 +323,8 @@ func newIOPlanner(cfg Config, workers int, adaptive bool) *ioPlanner {
 		depthCap:    StreamDepthCap(workers, budget),
 		budgetFloor: budget / ioBudgetFloorDiv,
 		depthFloor:  MinPrefetchDepth,
+		workerFloor: max(1, workers/ioWorkerFloorDiv),
+		workerCeil:  workers,
 	}
 	// The floor must also keep slices non-degenerate at the shallowest
 	// pipeline: worker shedding only guarantees the budget CEILING feeds
@@ -302,12 +359,38 @@ func (p *ioPlanner) depthCeil() int {
 // current returns the I/O recipe for the iteration about to execute.
 func (p *ioPlanner) current() IOPlan { return p.cur }
 
+// effectiveWorkers is the stream parallelism of the next pass: the full
+// streaming-effective count unless the controller shed it.
+func (p *ioPlanner) effectiveWorkers() int {
+	if p.cur.StreamWorkers > 0 {
+		return p.cur.StreamWorkers
+	}
+	return p.workers
+}
+
+// setWorkers records a new pass parallelism, normalizing "back to full" to
+// the zero StreamWorkers (so unshed plans render — and compare — exactly as
+// before worker shedding existed).
+func (p *ioPlanner) setWorkers(w int) {
+	if w >= p.workers {
+		p.cur.StreamWorkers = 0
+		return
+	}
+	if w < 1 {
+		w = 1
+	}
+	p.cur.StreamWorkers = w
+}
+
 // observe folds one iteration's measured I/O breakdown into the knobs.
 func (p *ioPlanner) observe(stats IterationStats) {
 	if p.fixed || stats.Duration <= 0 {
 		return
 	}
-	wait := float64(stats.IOWait) / (float64(stats.Duration) * float64(p.workers))
+	// The stall fraction is normalized by the parallelism the measured pass
+	// actually ran (cur is only mutated below, after the read).
+	eff := p.effectiveWorkers()
+	wait := float64(stats.IOWait) / (float64(stats.Duration) * float64(eff))
 	switch {
 	case wait >= ioRaiseWaitFraction:
 		p.calm = 0
@@ -317,14 +400,36 @@ func (p *ioPlanner) observe(stats IterationStats) {
 			// this level again.
 			p.cur.MemoryBudget = min(p.cap, p.cur.MemoryBudget*2)
 			p.budgetFloor = p.cur.MemoryBudget
+			p.sat = 0
 		case ioActShrunkDepth:
 			p.cur.PrefetchDepth = min(p.depthCeil(), p.cur.PrefetchDepth*2)
 			p.depthFloor = p.cur.PrefetchDepth
+			p.sat = 0
+		case ioActRegrewWorkers:
+			// The regrow re-saturated the device: shed back and pin the
+			// ceiling there, so the controller settles shed instead of
+			// oscillating between two parallelism tiers.
+			p.setWorkers(max(p.workerFloor, eff/2))
+			p.workerCeil = p.effectiveWorkers()
+			p.sat = 0
 		default:
 			if ceil := p.depthCeil(); p.cur.PrefetchDepth < ceil {
 				p.cur.PrefetchDepth = min(ceil, p.cur.PrefetchDepth*2)
+				p.sat = 0
 			} else if p.cur.MemoryBudget < p.cap {
 				p.cur.MemoryBudget = min(p.cap, p.cur.MemoryBudget*2)
+				p.sat = 0
+			} else if eff > p.workerFloor {
+				// Depth and budget are both at their caps and the passes
+				// still stall: the device is bandwidth-saturated, and the
+				// remaining lever is fewer workers reading longer
+				// sequential column groups. Shedding parallelism is the
+				// costliest move, so it waits for a SUSTAINED stall.
+				p.sat++
+				if p.sat >= ioShedPatience {
+					p.sat = 0
+					p.setWorkers(max(p.workerFloor, eff/2))
+				}
 			}
 		}
 		p.last = ioActNone
@@ -334,12 +439,19 @@ func (p *ioPlanner) observe(stats IterationStats) {
 		// I/O-bound is treated as an over-shrink, so the marker must not
 		// survive past this observation.
 		p.last = ioActNone
+		p.sat = 0
 		p.calm++
 		if p.calm < ioCalmIterations {
 			return
 		}
 		p.calm = 0
-		if half := p.cur.MemoryBudget / 2; half >= p.budgetFloor {
+		if eff < p.workerCeil {
+			// Shed parallelism regrows first: idle cores cost more than a
+			// generous buffer budget does.
+			next := min(p.workerCeil, eff*2)
+			p.setWorkers(next)
+			p.last = ioActRegrewWorkers
+		} else if half := p.cur.MemoryBudget / 2; half >= p.budgetFloor {
 			p.cur.MemoryBudget = half
 			p.last = ioActShrunkBudget
 			// Keep the slices non-degenerate: a smaller working budget may
@@ -355,6 +467,7 @@ func (p *ioPlanner) observe(stats IterationStats) {
 		// Neither bound dominates: the knobs are where the workload wants
 		// them.
 		p.calm = 0
+		p.sat = 0
 		p.last = ioActNone
 	}
 }
@@ -373,6 +486,49 @@ const (
 	priorGridPull      = 2.5
 	priorEdgeArray     = 3.0
 )
+
+// Grid-resolution prior terms. The base grid priors above describe an
+// ideally-fitting resolution; a pyramid level departs from them in four
+// measurable ways, each folded into the level's prior so the planner's
+// first choice (and a dense run's frozen choice) already reflects the
+// Section 5 cell-sizing trade-off:
+//
+//   - LLC misfit: a level whose per-range destination metadata exceeds the
+//     LLC pays a DRAM access on the fraction cachesim predicts will not be
+//     resident (gridLLCMissPenalty extra per-edge cost at hit ratio 0);
+//   - inner-cache misfit: within a span, destination accesses are random
+//     inside the range, so a range beyond the per-core L1 pays a (cheaper)
+//     inner miss on the predicted non-resident fraction — the term that
+//     stops the model at the LLC-only optimum of "P = 1" on graphs whose
+//     whole metadata fits the LLC;
+//   - span setup: every non-empty (fine row x coarse column) span costs a
+//     bounds lookup and a call; fine levels on small graphs drown in it
+//     (gridSpanSetupNs per span, amortized over the scanned edges);
+//   - ownership-limited parallelism: column scheduling cannot use more
+//     workers than the level has columns, so levels coarser than the worker
+//     count serialize proportionally.
+//
+// Measured ns/edge replaces the prediction after one iteration, with the
+// usual one-iteration misprediction abandonment (dense algorithms freeze on
+// the prediction for bit-reproducibility — persisted measurements via
+// Config.CostPriors upgrade their frozen choice too).
+const (
+	gridLLCMissPenalty   = 1.5
+	gridInnerMissPenalty = 0.6
+	gridSpanSetupNs      = 60.0
+)
+
+// gridLevelPrior predicts the per-edge cost prior of one pyramid level.
+func gridLevelPrior(base float64, lv *graph.GridLevel, spansPrior float64, workers int, llc cachesim.Config) float64 {
+	ws := int64(lv.RangeSize) * graph.GridVertexMetaBytes
+	miss := gridLLCMissPenalty*(1-llc.PredictHitRatio(ws)) +
+		gridInnerMissPenalty*(1-cachesim.L1D.PredictHitRatio(ws))
+	prior := base * (1 + miss)
+	if workers > lv.P {
+		prior *= float64(workers) / float64(lv.P)
+	}
+	return prior + spansPrior
+}
 
 // adaptiveDenseFrontier is the frontier density at or above which the
 // adaptive planner pulls without summing frontier out-degrees: a quarter of
@@ -640,7 +796,7 @@ func (p *adaptivePlanner) Observe(plan StepPlan, stats IterationStats) {
 // newPlanner builds the planner for an in-memory run: the fixedPlanner for
 // static configurations, the adaptivePlanner over every runnable layout for
 // Flow == Auto.
-func newPlanner(g *graph.Graph, cfg Config, r *runner, alpha int, tracked bool) (planner, error) {
+func newPlanner(g *graph.Graph, cfg Config, r *runner, alpha int, workers int, tracked bool) (planner, error) {
 	env := plannerEnv{
 		numVertices: g.NumVertices(),
 		totalEdges:  residentScanEdges(g),
@@ -659,20 +815,72 @@ func newPlanner(g *graph.Graph, cfg Config, r *runner, alpha int, tracked bool) 
 			// the paper's grid configurations.
 			env.activeOutEdges = nil
 		}
-		return newFixedPlanner(env, cfg.Layout, cfg.Flow, cfg.Sync), nil
+		var gridP int
+		if cfg.Layout == graph.LayoutGrid {
+			gridP = pinnedGridP(g.Grid, cfg.GridLevels)
+		}
+		return newFixedPlanner(env, cfg.Layout, cfg.Flow, cfg.Sync, gridP), nil
 	}
 
-	candidates := autoCandidates(g, tracked)
+	candidates := autoCandidates(g, cfg, workers, tracked)
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("core: auto flow found no runnable layout (build adjacency lists, a grid, or supply edges)")
 	}
 	return newAdaptivePlanner(env, candidates, cfg.CostPriors), nil
 }
 
+// pinnedGridP resolves Config.GridLevels for a static grid run: 0 pins the
+// materialized (finest) resolution — exactly the pre-pyramid behaviour —
+// and N > 0 pins the N-th level (1 = finest, 2 = P/2, ...), clamped to the
+// deepest level built. Grids without a pyramid (hand-built outside prep)
+// run at their own P; the planner never mutates the shared graph, so
+// concurrent runs over one graph stay race-free.
+func pinnedGridP(grid *graph.Grid, gridLevels int) int {
+	if grid.NumLevels() == 0 {
+		if grid.P < 1 {
+			return 0
+		}
+		return grid.P
+	}
+	idx := 0
+	if gridLevels > 0 {
+		idx = gridLevels - 1
+	}
+	if max := grid.NumLevels() - 1; idx > max {
+		idx = max
+	}
+	return grid.Level(idx).P
+}
+
+// gridCandidateLevels returns the pyramid levels the adaptive planner may
+// choose among under the Config.GridLevels policy: the finest N levels, or
+// every level when the policy is 0 (the default — resolution is a planned
+// dimension unless the configuration narrows it). A grid built outside
+// prep has no pyramid; it contributes its own resolution only, via a
+// planner-local level that leaves the shared graph untouched. Degenerate
+// grids (P < 1) contribute nothing.
+func gridCandidateLevels(grid *graph.Grid, gridLevels int) []graph.GridLevel {
+	levels := grid.Levels
+	if len(levels) == 0 {
+		if grid.P < 1 {
+			return nil
+		}
+		levels = []graph.GridLevel{grid.FineLevel()}
+	}
+	n := len(levels)
+	if gridLevels > 0 && gridLevels < n {
+		n = gridLevels
+	}
+	return levels[:n]
+}
+
 // autoCandidates enumerates the plans the adaptive planner may choose among
 // on this graph: one per materialized layout (and direction), each with the
-// sync mode its ownership structure dictates.
-func autoCandidates(g *graph.Graph, tracked bool) []planCandidate {
+// sync mode its ownership structure dictates. The grid contributes one
+// push/pull candidate pair per pyramid level the GridLevels policy admits,
+// with priors derived from the cachesim LLC model (see gridLevelPrior) so
+// the first resolution choice already encodes the cell-sizing trade-off.
+func autoCandidates(g *graph.Graph, cfg Config, workers int, tracked bool) []planCandidate {
 	var cs []planCandidate
 	if g.In != nil || (!g.Directed && g.Out != nil) {
 		cs = append(cs, planCandidate{
@@ -688,17 +896,24 @@ func autoCandidates(g *graph.Graph, tracked bool) []planCandidate {
 		})
 	}
 	if g.Grid != nil {
-		cs = append(cs,
-			planCandidate{
-				plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Tracked: tracked},
-				prior:    priorGridPush,
-				fullScan: true,
-			},
-			planCandidate{
-				plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Pull, Sync: SyncPartitionFree, Tracked: tracked},
-				prior:    priorGridPull,
-				fullScan: true,
-			})
+		totalEdges := float64(g.Grid.NumEdges())
+		for _, lv := range gridCandidateLevels(g.Grid, cfg.GridLevels) {
+			lv := lv
+			var spansPrior float64
+			if totalEdges > 0 {
+				spansPrior = gridSpanSetupNs * float64(lv.Spans) / totalEdges
+			}
+			for _, d := range []struct {
+				flow Flow
+				base float64
+			}{{Push, priorGridPush}, {Pull, priorGridPull}} {
+				cs = append(cs, planCandidate{
+					plan:     StepPlan{Layout: graph.LayoutGrid, Flow: d.flow, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: lv.P},
+					prior:    gridLevelPrior(d.base, &lv, spansPrior, workers, cachesim.MachineB),
+					fullScan: true,
+				})
+			}
+		}
 	}
 	if len(g.EdgeArray.Edges) > 0 {
 		cs = append(cs, planCandidate{
@@ -740,19 +955,23 @@ func newStreamPlanner(src Source, cfg Config, workers, alpha int, tracked bool) 
 		tracked:     tracked,
 		// No resident out index: the count heuristic decides direction.
 	}
+	// The store's resolution is fixed on disk, so streamed plans always
+	// carry it (labels and cost entries stay per-resolution, exactly like
+	// the in-memory pyramid's) but the planner never varies it.
+	gridP := src.GridP()
 	if cfg.Flow != Auto {
-		p := newFixedPlanner(env, graph.LayoutGrid, cfg.Flow, SyncPartitionFree)
+		p := newFixedPlanner(env, graph.LayoutGrid, cfg.Flow, SyncPartitionFree, gridP)
 		p.io = newIOPlanner(cfg, workers, false)
 		return p
 	}
 	p := newAdaptivePlanner(env, []planCandidate{
 		{
-			plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Tracked: tracked},
+			plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: gridP},
 			prior:    priorGridPush,
 			fullScan: true,
 		},
 		{
-			plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Pull, Sync: SyncPartitionFree, Tracked: tracked},
+			plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Pull, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: gridP},
 			prior:    priorGridPull,
 			fullScan: true,
 		},

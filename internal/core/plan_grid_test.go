@@ -1,0 +1,364 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/cachesim"
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+)
+
+// gridOnlyGraph builds an RMAT graph with nothing but the grid materialized
+// (plus the always-present edge array), forced to the given fine P — the
+// configuration whose resolution the planner must correct when P misfits.
+func gridOnlyGraph(t *testing.T, scale, p int) *graph.Graph {
+	t.Helper()
+	g := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: 8, Seed: 7})
+	if err := prep.BuildGrid(g, p, prep.Options{Method: prep.RadixSort}); err != nil {
+		t.Fatalf("BuildGrid: %v", err)
+	}
+	return g
+}
+
+func TestStepPlanStringCarriesGridLevel(t *testing.T) {
+	p := StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, GridLevel: 128}
+	if got := p.String(); got != "grid/128/push/no-lock" {
+		t.Fatalf("StepPlan.String() = %q, want grid/128/push/no-lock", got)
+	}
+	p.IO = IOPlan{PrefetchDepth: 2, MemoryBudget: 32 << 20}
+	if got := p.String(); got != "grid/128/push/no-lock[d2 32MiB]" {
+		t.Fatalf("streamed StepPlan.String() = %q", got)
+	}
+	// Non-grid plans never render a resolution, even if one leaks in.
+	q := StepPlan{Layout: graph.LayoutAdjacency, Flow: Pull, Sync: SyncPartitionFree, GridLevel: 64}
+	if got := q.String(); got != "adjacency/pull/no-lock" {
+		t.Fatalf("non-grid StepPlan.String() = %q", got)
+	}
+}
+
+// TestStepPlanKeyKeepsGridLevel: the I/O knobs are stripped from the cost
+// identity, the resolution is not — cost entries are per level, which is
+// what lets measurements choose among resolutions.
+func TestStepPlanKeyKeepsGridLevel(t *testing.T) {
+	p := StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, GridLevel: 64,
+		IO: IOPlan{PrefetchDepth: 4, MemoryBudget: 1 << 20}}
+	k := p.key()
+	if k.IO != (IOPlan{}) {
+		t.Fatalf("key must strip the I/O dimension, got %v", k.IO)
+	}
+	if k.GridLevel != 64 {
+		t.Fatalf("key must keep the grid level, got %d", k.GridLevel)
+	}
+	q := p
+	q.GridLevel = 128
+	if p.key() == q.key() {
+		t.Fatal("two resolutions must not share one cost entry")
+	}
+}
+
+// TestAutoCandidatesEnumerateGridLevels: every pyramid level contributes a
+// push/pull pair, and the GridLevels policy restricts to the finest N.
+func TestAutoCandidatesEnumerateGridLevels(t *testing.T) {
+	g := gridOnlyGraph(t, 10, 16) // pyramid: 16, 8, 4, 2, 1
+	levels := g.Grid.NumLevels()
+	if levels != 5 {
+		t.Fatalf("pyramid has %d levels, want 5", levels)
+	}
+	countGrid := func(cs []planCandidate) map[int]int {
+		got := map[int]int{}
+		for _, c := range cs {
+			if c.plan.Layout == graph.LayoutGrid {
+				if c.plan.GridLevel == 0 {
+					t.Fatalf("grid candidate %v carries no resolution", c.plan)
+				}
+				got[c.plan.GridLevel]++
+			}
+		}
+		return got
+	}
+	all := countGrid(autoCandidates(g, Config{Flow: Auto}, 4, true))
+	if len(all) != levels {
+		t.Fatalf("default policy enumerated %d resolutions, want %d", len(all), levels)
+	}
+	for p, n := range all {
+		if n != 2 {
+			t.Fatalf("resolution %d has %d candidates, want a push/pull pair", p, n)
+		}
+	}
+	two := countGrid(autoCandidates(g, Config{Flow: Auto, GridLevels: 2}, 4, true))
+	if len(two) != 2 || two[16] != 2 || two[8] != 2 {
+		t.Fatalf("GridLevels=2 enumerated %v, want the finest two (16, 8)", two)
+	}
+	one := countGrid(autoCandidates(g, Config{Flow: Auto, GridLevels: 1}, 4, true))
+	if len(one) != 1 || one[16] != 2 {
+		t.Fatalf("GridLevels=1 enumerated %v, want only the materialized grid", one)
+	}
+}
+
+// TestGridLevelPriorShape pins the qualitative orderings the prior model
+// must produce; the measured feedback corrects magnitudes, but a dense run
+// freezes on these, so the shape is load-bearing.
+func TestGridLevelPriorShape(t *testing.T) {
+	llc := cachesim.MachineB
+	mk := func(p, factor, rangeSize, spans int) *graph.GridLevel {
+		return &graph.GridLevel{P: p, Factor: factor, RangeSize: rangeSize, Spans: spans}
+	}
+	// Ownership-limited parallelism: a 2-column level serializes 8 workers.
+	wide := gridLevelPrior(priorGridPush, mk(16, 1, 1<<10, 0), 0, 8, llc)
+	narrow := gridLevelPrior(priorGridPush, mk(2, 8, 1<<13, 0), 0, 8, llc)
+	if narrow <= wide {
+		t.Fatalf("2-column level (%v) must cost more than a 16-column one (%v) for 8 workers", narrow, wide)
+	}
+	// LLC misfit: ranges far beyond the LLC cost more than fitting ones.
+	fit := gridLevelPrior(priorGridPush, mk(256, 1, 1<<18, 0), 0, 4, llc)   // 2 MiB of metadata
+	misfit := gridLevelPrior(priorGridPush, mk(4, 64, 1<<24, 0), 0, 4, llc) // 128 MiB
+	if misfit <= fit {
+		t.Fatalf("LLC-overflowing level (%v) must cost more than a fitting one (%v)", misfit, fit)
+	}
+	// Span setup: at equal cache behaviour, more spans per edge cost more.
+	cheap := gridLevelPrior(priorGridPush, mk(16, 1, 1<<10, 100), 60.0*100/10000, 4, llc)
+	costly := gridLevelPrior(priorGridPush, mk(16, 1, 1<<10, 5000), 60.0*5000/10000, 4, llc)
+	if costly <= cheap {
+		t.Fatalf("span-heavy level (%v) must cost more than a lean one (%v)", costly, cheap)
+	}
+}
+
+// TestFixedGridLevelsPinResolution: a static grid configuration with
+// GridLevels = N runs every iteration at the N-th pyramid level, and N = 0
+// (or 1) runs the materialized grid exactly — including the recorded plan.
+func TestFixedGridLevelsPinResolution(t *testing.T) {
+	g := gridOnlyGraph(t, 10, 16)
+	for _, tc := range []struct {
+		gridLevels int
+		wantP      int
+	}{{0, 16}, {1, 16}, {2, 8}, {4, 2}, {99, 1} /* clamped to the deepest */} {
+		bfs := algorithms.NewBFS(0)
+		res, err := Run(g, bfs, Config{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, GridLevels: tc.gridLevels})
+		if err != nil {
+			t.Fatalf("GridLevels=%d: %v", tc.gridLevels, err)
+		}
+		for i, it := range res.PerIteration {
+			if it.Plan.GridLevel != tc.wantP {
+				t.Fatalf("GridLevels=%d iteration %d: ran grid/%d, want grid/%d", tc.gridLevels, i, it.Plan.GridLevel, tc.wantP)
+			}
+		}
+	}
+}
+
+// TestGridLevelsLabelIdentity: BFS levels and WCC labels are identical at
+// every pinned resolution — the pyramid only regroups the same edges.
+func TestGridLevelsLabelIdentity(t *testing.T) {
+	g := gridOnlyGraph(t, 10, 16)
+	ref := algorithms.NewBFS(0)
+	if _, err := Run(g, ref, Config{Layout: graph.LayoutGrid, Flow: PushPull, Sync: SyncPartitionFree}); err != nil {
+		t.Fatalf("fine run: %v", err)
+	}
+	for n := 2; n <= g.Grid.NumLevels(); n++ {
+		bfs := algorithms.NewBFS(0)
+		if _, err := Run(g, bfs, Config{Layout: graph.LayoutGrid, Flow: PushPull, Sync: SyncPartitionFree, GridLevels: n}); err != nil {
+			t.Fatalf("level %d run: %v", n, err)
+		}
+		for v := range ref.Level {
+			if bfs.Level[v] != ref.Level[v] {
+				t.Fatalf("level policy %d: bfs level[%d] = %d, want %d", n, v, bfs.Level[v], ref.Level[v])
+			}
+		}
+	}
+}
+
+// TestGridLevelsBitIdenticalAcrossResolutions: the pyramid preserves the
+// per-destination visit order (ascending fine rows within the destination's
+// column) at EVERY level, so even PageRank's floating-point accumulation is
+// bit-identical between pinned resolutions under a single worker's
+// deterministic schedule — and between fine-pinned and the pre-pyramid
+// default at any worker count.
+func TestGridLevelsBitIdenticalAcrossResolutions(t *testing.T) {
+	g := gridOnlyGraph(t, 10, 16)
+	run := func(gridLevels, workers int) *algorithms.PageRank {
+		pr := algorithms.NewPageRank()
+		if _, err := Run(g, pr, Config{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, GridLevels: gridLevels, Workers: workers}); err != nil {
+			t.Fatalf("GridLevels=%d: %v", gridLevels, err)
+		}
+		return pr
+	}
+	// Any worker count: default (0) vs pinned-fine (1) is the same schedule.
+	def, fine := run(0, 0), run(1, 0)
+	for v := range def.Rank {
+		if math.Float64bits(def.Rank[v]) != math.Float64bits(fine.Rank[v]) {
+			t.Fatalf("rank[%d]: default %v, pinned-fine %v (not bit-identical)", v, def.Rank[v], fine.Rank[v])
+		}
+	}
+	// Serial schedule: every resolution yields the same bits, because one
+	// worker owns every column and the row order never changes.
+	serialRef := run(1, 1)
+	for n := 2; n <= g.Grid.NumLevels(); n++ {
+		pr := run(n, 1)
+		for v := range serialRef.Rank {
+			if math.Float64bits(serialRef.Rank[v]) != math.Float64bits(pr.Rank[v]) {
+				t.Fatalf("serial rank[%d] at level policy %d: %v, want %v", v, n, pr.Rank[v], serialRef.Rank[v])
+			}
+		}
+	}
+}
+
+// TestAutoGridOnlyDenseFreezesOneResolution: a dense algorithm on a
+// grid-only graph freezes a single resolution for the whole run, records it
+// in every iteration's plan, and is bit-identical to the fixed configuration
+// pinned at that resolution.
+func TestAutoGridOnlyDenseFreezesOneResolution(t *testing.T) {
+	g := gridOnlyGraph(t, 12, 64)
+	auto := algorithms.NewPageRank()
+	res, err := Run(g, auto, Config{Flow: Auto, Layout: graph.LayoutGrid})
+	if err != nil {
+		t.Fatalf("auto run: %v", err)
+	}
+	frozen := res.PerIteration[0].Plan
+	if frozen.Layout != graph.LayoutGrid || frozen.GridLevel == 0 {
+		t.Fatalf("grid-only dense run froze %v, want a grid plan with a resolution", frozen)
+	}
+	for i, it := range res.PerIteration {
+		if it.Plan != frozen {
+			t.Fatalf("iteration %d: plan %v, want the frozen %v", i, it.Plan, frozen)
+		}
+	}
+	// Pin the fixed configuration to the frozen level and compare bits.
+	levelIdx := -1
+	for i := 0; i < g.Grid.NumLevels(); i++ {
+		if g.Grid.Level(i).P == frozen.GridLevel {
+			levelIdx = i
+		}
+	}
+	if levelIdx < 0 {
+		t.Fatalf("frozen resolution %d is not a pyramid level", frozen.GridLevel)
+	}
+	fixed := algorithms.NewPageRank()
+	if _, err := Run(g, fixed, Config{Layout: graph.LayoutGrid, Flow: frozen.Flow, Sync: frozen.Sync, GridLevels: levelIdx + 1}); err != nil {
+		t.Fatalf("fixed run: %v", err)
+	}
+	for v := range fixed.Rank {
+		if math.Float64bits(auto.Rank[v]) != math.Float64bits(fixed.Rank[v]) {
+			t.Fatalf("rank[%d]: auto %v, fixed-at-frozen-level %v (not bit-identical)", v, auto.Rank[v], fixed.Rank[v])
+		}
+	}
+}
+
+// TestAutoGridOnlyBFSCorrectAcrossLevelSwitches: a tracked algorithm may
+// hop between resolutions mid-run; the result must stay label-identical to
+// a fixed fine-grid run.
+func TestAutoGridOnlyBFSCorrectAcrossLevelSwitches(t *testing.T) {
+	g := gridOnlyGraph(t, 12, 64)
+	ref := algorithms.NewBFS(0)
+	if _, err := Run(g, ref, Config{Layout: graph.LayoutGrid, Flow: PushPull, Sync: SyncPartitionFree}); err != nil {
+		t.Fatalf("fixed run: %v", err)
+	}
+	auto := algorithms.NewBFS(0)
+	res, err := Run(g, auto, Config{Flow: Auto, Layout: graph.LayoutGrid})
+	if err != nil {
+		t.Fatalf("auto run: %v", err)
+	}
+	for v := range ref.Level {
+		if auto.Level[v] != ref.Level[v] {
+			t.Fatalf("level[%d]: auto %d, fixed %d", v, auto.Level[v], ref.Level[v])
+		}
+	}
+	for i, it := range res.PerIteration {
+		if it.Plan.Layout == graph.LayoutGrid && it.Plan.GridLevel == 0 {
+			t.Fatalf("iteration %d: grid plan without a resolution: %v", i, it.Plan)
+		}
+	}
+}
+
+// TestGridLevelsValidation: the resolution policy needs a grid to act on.
+func TestGridLevelsValidation(t *testing.T) {
+	g := rmatTestGraph(t)
+	if err := (Config{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics, GridLevels: 2}).Validate(g); err == nil {
+		t.Fatal("GridLevels on a static adjacency configuration must be rejected")
+	}
+	if err := (Config{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, GridLevels: -1}).Validate(g); err == nil {
+		t.Fatal("negative GridLevels must be rejected")
+	}
+	for _, ok := range []Config{
+		{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, GridLevels: 3},
+		{Flow: Auto, GridLevels: 2},
+	} {
+		if err := ok.Validate(g); err != nil {
+			t.Fatalf("config %+v should validate: %v", ok, err)
+		}
+	}
+	// Streamed runs have no pyramid: the store's resolution is fixed.
+	src := &fakeSource{n: 10, edges: []graph.Edge{{Src: 0, Dst: 1}}}
+	if _, err := RunStreamed(src, algorithms.NewBFS(0), Config{Flow: Auto, GridLevels: 2}); err == nil {
+		t.Fatal("GridLevels on a streamed run must be rejected")
+	}
+}
+
+// TestConcurrentRunsOnPyramidlessGridDoNotMutate: a grid built outside
+// prep has no pyramid; concurrent runs over the shared graph must fall back
+// to runner-local level views instead of lazily building (and racing on)
+// the grid's Levels slice. Run under -race.
+func TestConcurrentRunsOnPyramidlessGridDoNotMutate(t *testing.T) {
+	g := gridOnlyGraph(t, 10, 16)
+	g.Grid.Levels = nil // simulate a hand-assembled grid
+	cfg := Config{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Workers: 2}
+	ref := algorithms.NewPageRank()
+	if _, err := Run(g, ref, cfg); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	var wg sync.WaitGroup
+	prs := make([]*algorithms.PageRank, 4)
+	errs := make([]error, 4)
+	for i := range prs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			prs[i] = algorithms.NewPageRank()
+			_, errs[i] = Run(g, prs[i], cfg)
+		}()
+	}
+	wg.Wait()
+	if g.Grid.NumLevels() != 0 {
+		t.Fatalf("a run attached %d pyramid levels to the shared grid", g.Grid.NumLevels())
+	}
+	for i := range prs {
+		if errs[i] != nil {
+			t.Fatalf("concurrent run %d: %v", i, errs[i])
+		}
+		for v := range ref.Rank {
+			if math.Float64bits(prs[i].Rank[v]) != math.Float64bits(ref.Rank[v]) {
+				t.Fatalf("concurrent run %d diverged at vertex %d", i, v)
+			}
+		}
+	}
+	// Pinned runs and auto runs on a pyramid-less grid run at its own P.
+	res, err := Run(g, algorithms.NewBFS(0), cfg)
+	if err != nil {
+		t.Fatalf("pyramid-less fixed run: %v", err)
+	}
+	if got := res.PerIteration[0].Plan.GridLevel; got != g.Grid.P {
+		t.Fatalf("pyramid-less grid ran grid/%d, want grid/%d", got, g.Grid.P)
+	}
+}
+
+// TestDegenerateGridStaysNoOp: a zero-value grid (P = 0, representable even
+// though Validate rejects it) must keep the pre-pyramid behaviour — iterate
+// nothing and terminate — instead of looping in pyramid construction.
+func TestDegenerateGridStaysNoOp(t *testing.T) {
+	g := graph.New([]graph.Edge{{Src: 0, Dst: 1}}, 2, true)
+	g.Grid = &graph.Grid{}
+	bfs := algorithms.NewBFS(0)
+	res, err := Run(g, bfs, Config{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Iterations != 1 {
+		t.Fatalf("degenerate grid ran %d iterations, want the single empty one", res.Iterations)
+	}
+	if bfs.Level[1] != -1 {
+		t.Fatal("a degenerate grid traversed an edge")
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+)
+
+// shedStats fabricates a measurement whose per-worker stall fraction is
+// waitFrac when the pass ran on eff workers (IterationStats.IOWait sums
+// stalls across workers).
+func shedStats(waitFrac float64, eff int) IterationStats {
+	d := 100 * time.Millisecond
+	return IterationStats{Duration: d, IOWait: time.Duration(float64(d) * waitFrac * float64(eff))}
+}
+
+// shedPlanner builds an adaptive controller for 8 workers with a budget
+// roomy enough that depth can reach MaxPrefetchDepth, and drives it to the
+// depth+budget caps — the precondition of worker shedding.
+func shedPlanner(t *testing.T) *ioPlanner {
+	t.Helper()
+	const budget = 64 << 20
+	p := newIOPlanner(Config{MemoryBudget: budget, Flow: Auto}, 8, true)
+	for i := 0; i < 3; i++ { // depth 2->4->8, then budget/2->budget
+		p.observe(shedStats(0.9, p.effectiveWorkers()))
+	}
+	got := p.current()
+	if got.PrefetchDepth != MaxPrefetchDepth || got.MemoryBudget != budget || got.StreamWorkers != 0 {
+		t.Fatalf("setup did not reach the caps unshed: %v", got)
+	}
+	return p
+}
+
+// TestIOPlannerShedsWorkersWhenCappedAndSaturated: once depth and budget
+// are at their caps, a SUSTAINED per-worker stall sheds stream workers
+// (halving toward the fullWorkers/4 floor); a single capped-and-stalled
+// iteration does not.
+func TestIOPlannerShedsWorkersWhenCappedAndSaturated(t *testing.T) {
+	p := shedPlanner(t)
+	p.observe(shedStats(0.9, 8))
+	if got := p.current().StreamWorkers; got != 0 {
+		t.Fatalf("one capped iteration already shed to %d workers; shedding must be sustained-only", got)
+	}
+	p.observe(shedStats(0.9, 8))
+	if got := p.current().StreamWorkers; got != 4 {
+		t.Fatalf("sustained saturation shed to %d workers, want 4", got)
+	}
+	// Still saturated: sheds once more, to the floor (8/4 = 2), then holds.
+	for i := 0; i < 6; i++ {
+		p.observe(shedStats(0.9, p.effectiveWorkers()))
+	}
+	if got := p.current().StreamWorkers; got != 2 {
+		t.Fatalf("floor violated: %d workers, want 2", got)
+	}
+}
+
+// TestIOPlannerRegrowsWorkersWhenCalm: shed parallelism regrows before any
+// budget is given back, and a full regrow returns the plan to the zero
+// StreamWorkers (labels identical to pre-shedding plans).
+func TestIOPlannerRegrowsWorkersWhenCalm(t *testing.T) {
+	p := shedPlanner(t)
+	p.observe(shedStats(0.9, 8))
+	p.observe(shedStats(0.9, 8)) // shed to 4
+	if got := p.current(); got.StreamWorkers != 4 {
+		t.Fatalf("setup shed failed: %v", got)
+	}
+	budget := p.current().MemoryBudget
+	p.observe(shedStats(0, 4))
+	p.observe(shedStats(0, 4))
+	got := p.current()
+	if got.StreamWorkers != 0 {
+		t.Fatalf("calm streak regrew to %d workers, want the full count (0)", got.StreamWorkers)
+	}
+	if got.MemoryBudget != budget {
+		t.Fatalf("regrow and budget shed in one move: %v", got)
+	}
+	// With the workers back, further calm streaks shed budget as before.
+	p.observe(shedStats(0, 8))
+	p.observe(shedStats(0, 8))
+	if got := p.current(); got.MemoryBudget != budget/2 {
+		t.Fatalf("budget shed blocked after regrow: %v", got)
+	}
+}
+
+// TestIOPlannerPinsWorkerCeilingAfterFailedRegrow: a regrow that
+// immediately re-saturates the device is undone and becomes the ceiling —
+// the controller settles shed instead of oscillating between two
+// parallelism tiers.
+func TestIOPlannerPinsWorkerCeilingAfterFailedRegrow(t *testing.T) {
+	p := shedPlanner(t)
+	p.observe(shedStats(0.9, 8))
+	p.observe(shedStats(0.9, 8)) // shed to 4
+	p.observe(shedStats(0.9, 4))
+	p.observe(shedStats(0.9, 4)) // shed to 2 (floor)
+	if got := p.current().StreamWorkers; got != 2 {
+		t.Fatalf("setup shed to %d, want 2", got)
+	}
+	p.observe(shedStats(0, 2))
+	p.observe(shedStats(0, 2)) // regrow to 4
+	if got := p.current().StreamWorkers; got != 4 {
+		t.Fatalf("regrow went to %d, want 4", got)
+	}
+	p.observe(shedStats(0.9, 4)) // regrow re-saturated: undo and pin
+	if got := p.current().StreamWorkers; got != 2 {
+		t.Fatalf("failed regrow not undone: %d workers", got)
+	}
+	for i := 0; i < 6; i++ {
+		p.observe(shedStats(0, 2))
+	}
+	if got := p.current().StreamWorkers; got != 2 {
+		t.Fatalf("calm streaks regrew past the pinned ceiling: %d workers", got)
+	}
+}
+
+func TestIOPlanStringCarriesShedWorkers(t *testing.T) {
+	io := IOPlan{PrefetchDepth: 8, MemoryBudget: 64 << 20}
+	if got := io.String(); got != "[d8 64MiB]" {
+		t.Fatalf("unshed I/O label = %q", got)
+	}
+	io.StreamWorkers = 4
+	if got := io.String(); got != "[d8 64MiB w4]" {
+		t.Fatalf("shed I/O label = %q", got)
+	}
+}
+
+// TestRunStreamedShedsWorkersUnderSaturation drives the full streamed loop
+// with a source whose fabricated IOWait keeps every pass saturated and
+// asserts the recorded plans shed stream workers after depth and budget cap
+// out — and that the results are identical to an unshed run (column
+// ownership per pass keeps per-destination order deterministic at any
+// worker count).
+func TestRunStreamedShedsWorkersUnderSaturation(t *testing.T) {
+	const n = 128
+	run := func(wait time.Duration) (*algorithms.PageRank, *Result) {
+		src := &slowFakeSource{
+			fakeSource:    fakeSource{n: n, edges: denseFakeEdges(n)},
+			ioTimePerPass: wait,
+			ioWaitPerPass: wait,
+		}
+		pr := algorithms.NewPageRank()
+		pr.Iterations = 10
+		res, err := RunStreamed(src, pr, Config{Flow: Auto, Workers: 1, MemoryBudget: 64 << 20})
+		if err != nil {
+			t.Fatalf("RunStreamed: %v", err)
+		}
+		return pr, res
+	}
+	// The fake source has GridP() == 1, so the streaming-effective count is
+	// 1 and nothing can shed; use the wide fake to get real parallelism.
+	srcWide := &slowFakeGridSource{
+		slowFakeSource: slowFakeSource{
+			fakeSource:    fakeSource{n: n, edges: denseFakeEdges(n)},
+			ioTimePerPass: 40 * time.Second,
+			ioWaitPerPass: 40 * time.Second,
+		},
+		p: 64,
+	}
+	pr := algorithms.NewPageRank()
+	pr.Iterations = 10
+	res, err := RunStreamed(srcWide, pr, Config{Flow: Auto, Workers: 8, MemoryBudget: 64 << 20})
+	if err != nil {
+		t.Fatalf("RunStreamed: %v", err)
+	}
+	shed := 0
+	for _, it := range res.PerIteration {
+		if w := it.Plan.IO.StreamWorkers; w > 0 {
+			shed++
+			if w >= 8 || w < 2 {
+				t.Fatalf("shed plan ran %d workers, want within [2, 8): %v", w, it.Plan)
+			}
+		}
+	}
+	if shed == 0 {
+		t.Fatalf("no iteration shed workers under saturation; trace: %v", res.PlanTrace())
+	}
+	// Bit-identity against an unsaturated single-worker run.
+	ref, _ := run(0)
+	for v := range ref.Rank {
+		if ref.Rank[v] != pr.Rank[v] {
+			t.Fatalf("rank[%d]: shed %v, reference %v", v, pr.Rank[v], ref.Rank[v])
+		}
+	}
+}
+
+// slowFakeGridSource is the slow fake with a wide grid, so the
+// streaming-effective worker count is the configured one.
+type slowFakeGridSource struct {
+	slowFakeSource
+	p int
+}
+
+func (s *slowFakeGridSource) GridP() int { return s.p }

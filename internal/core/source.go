@@ -16,8 +16,15 @@ import (
 
 // StreamOptions bounds one streamed pass over a source.
 type StreamOptions struct {
-	// Workers is the number of compute workers (column owners).
+	// Workers is the number of compute workers (column owners) of THIS
+	// pass. The adaptive planner may run it below WorkersCap on
+	// bandwidth-saturated devices (fewer, longer sequential reads).
 	Workers int
+	// WorkersCap is the stable ceiling Workers will ever reach across the
+	// run's passes — the parallelism a source may build its recycled buffer
+	// pool for, so per-pass worker shedding reuses buffers instead of
+	// rebuilding. 0 means Workers is the ceiling.
+	WorkersCap int
 	// MemoryBudget bounds the bytes of resident edge buffers across all
 	// workers (raw segment bytes plus decoded edges) during this pass. 0
 	// selects the source's default.
@@ -132,6 +139,9 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	if err := cfg.validateAlpha(); err != nil {
 		return nil, err
 	}
+	if cfg.GridLevels != 0 {
+		return nil, fmt.Errorf("core: GridLevels selects an in-memory pyramid resolution; a streamed store's grid is fixed on disk at %dx%d", src.GridP(), src.GridP())
+	}
 	workers := cfg.Workers
 	if workers <= 0 {
 		workers = sched.MaxWorkers()
@@ -188,8 +198,13 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 			Plan:           plan,
 			UsedPull:       plan.Flow == Pull,
 		}
+		passWorkers := workers
+		if plan.IO.StreamWorkers > 0 {
+			passWorkers = plan.IO.StreamWorkers
+		}
 		opt := StreamOptions{
-			Workers:         workers,
+			Workers:         passWorkers,
+			WorkersCap:      workers,
 			MemoryBudget:    plan.IO.MemoryBudget,
 			MemoryBudgetCap: budgetCap,
 			PrefetchDepth:   plan.IO.PrefetchDepth,

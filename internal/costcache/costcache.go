@@ -20,8 +20,12 @@ import (
 	"path/filepath"
 )
 
-// Version is bumped on incompatible format changes.
-const Version = 1
+// Version is bumped on incompatible format changes. Version 2: grid plan
+// labels carry their resolution ("grid/256/push/no-lock"), so version-1
+// caches' grid entries would silently never match a candidate again —
+// rejecting the old file loudly beats a warm start that quietly degrades
+// to cold priors.
+const Version = 2
 
 // File is the decoded cache: per run label (see Key), the measured ns per
 // scanned edge of every plan the adaptive planner exercised (keyed by the
@@ -35,19 +39,30 @@ type File struct {
 // error; a malformed or incompatible file is an error (better to surface it
 // than to silently overwrite someone's data with an empty cache on Save).
 func Load(path string) (*File, error) {
-	f := &File{Version: Version, Graphs: map[string]map[string]float64{}}
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return f, nil
+		return &File{Version: Version, Graphs: map[string]map[string]float64{}}, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("costcache: read %s: %w", path, err)
 	}
+	f, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("costcache: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+// Decode parses a cache from its JSON bytes — the Load path without the
+// filesystem, for caches committed into a binary via go:embed (the
+// benchmark suite's warm-start seed).
+func Decode(data []byte) (*File, error) {
+	f := &File{Version: Version, Graphs: map[string]map[string]float64{}}
 	if err := json.Unmarshal(data, f); err != nil {
-		return nil, fmt.Errorf("costcache: parse %s: %w", path, err)
+		return nil, fmt.Errorf("parse: %w", err)
 	}
 	if f.Version != Version {
-		return nil, fmt.Errorf("costcache: %s has version %d, want %d", path, f.Version, Version)
+		return nil, fmt.Errorf("version %d, want %d", f.Version, Version)
 	}
 	if f.Graphs == nil {
 		f.Graphs = map[string]map[string]float64{}

@@ -32,20 +32,65 @@ type Grid struct {
 	// CellIndex has P*P+1 entries; cell (i,j) occupies
 	// Edges[CellIndex[i*P+j]:CellIndex[i*P+j+1]].
 	CellIndex []uint64
+	// Levels is the grid pyramid: virtual coarser resolutions (P, then
+	// halving down to 1) sharing this grid's edge slice, built once at prep
+	// time by BuildPyramid. Levels[0] is the grid itself. Empty on grids
+	// whose pyramid was never built; the engine falls back to the fine
+	// level.
+	Levels []GridLevel
 }
 
 // DefaultGridP is the grid dimension found experimentally best in the paper
 // for the Twitter and RMAT26 graphs (a 256x256 grid).
 const DefaultGridP = 256
 
-// GridPFor picks a grid dimension for a graph with numVertices vertices.
-// The paper uses 256x256 for its large graphs; for small graphs a finer
-// grid than one vertex per range is pointless, so P is capped so that each
-// range holds at least a handful of vertices.
+// GridVertexMetaBytes is the per-vertex metadata footprint the grid's cache
+// argument is sized against: the 8-byte accumulator (PageRank's float64
+// rank) that every destination update touches. It is what multiplies a
+// range's vertex count into the working-set bytes compared against the LLC.
+const GridVertexMetaBytes = 8
+
+// DefaultLLCBytes is the last-level cache capacity assumed when no machine
+// description is supplied: 16 MiB, the paper's machine B. It must equal
+// cachesim.MachineB.SizeBytes (graph cannot import cachesim — cachesim's
+// trace replayer imports graph — so a cross-package test pins the two
+// constants together).
+const DefaultLLCBytes = 16 << 20
+
+// gridLLCRangeDivisor sets the per-range working-set target of the LLC-fit
+// cap: a range whose destination metadata is below LLC/8 already leaves the
+// rest of the cache to source metadata, frontier bitmaps and streamed edges
+// (the paper's best 256x256 grid on RMAT26 puts ~2 MiB of a 16 MiB LLC in
+// each range — exactly LLC/8), so splitting it further buys no locality and
+// only multiplies cells.
+const gridLLCRangeDivisor = 8
+
+// GridPFor picks a grid dimension for a graph with numVertices vertices,
+// assuming the default machine's LLC (DefaultLLCBytes).
 func GridPFor(numVertices, requested int) int {
+	return GridPForLLC(numVertices, requested, DefaultLLCBytes)
+}
+
+// GridPForLLC picks a grid dimension for a graph with numVertices vertices
+// on a machine with the given last-level cache capacity. The paper uses
+// 256x256 for its large graphs; for small graphs a finer grid than one
+// vertex per range is pointless, so P is capped so that each range holds at
+// least a handful of vertices. Requests beyond the paper's default are
+// additionally capped by LLC fit: halving P is free while the coarser
+// ranges' vertex metadata still fits the per-range cache target, so an
+// oversized request on a small machine settles at the resolution the cache
+// can actually exploit. Requests at or below DefaultGridP are never
+// reshaped — fixed-P runs stay reproducible.
+func GridPForLLC(numVertices, requested int, llcBytes int64) int {
 	p := requested
 	if p <= 0 {
 		p = DefaultGridP
+	}
+	if llcBytes > 0 {
+		target := llcBytes / gridLLCRangeDivisor
+		for p > DefaultGridP && int64(numVertices)*GridVertexMetaBytes/int64(p/2) <= target {
+			p /= 2
+		}
 	}
 	// Keep at least 4 vertices per range so cells are not degenerate on
 	// small test graphs.
@@ -124,6 +169,9 @@ func (g *Grid) Validate() error {
 				}
 			}
 		}
+	}
+	if len(g.Levels) > 0 {
+		return g.validatePyramid()
 	}
 	return nil
 }

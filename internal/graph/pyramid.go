@@ -1,0 +1,185 @@
+package graph
+
+import "fmt"
+
+// This file contains the grid pyramid: the multi-resolution view of one
+// materialized grid. The paper's Section 5 finding is that the grid
+// dimension P is a first-order performance knob — the right value depends on
+// how much per-range vertex metadata the LLC can hold and on how sparse the
+// frontier is — yet edges are scattered into cells once, at prep time. The
+// pyramid makes every coarser resolution available without copying a single
+// edge: the grid is built at the finest P, and a coarse cell (I,J) at level
+// l is ITERATED as its block of fine cells. Because fine cells of one row
+// are contiguous in the row-major edge slice, the fine columns of a coarse
+// cell collapse into a single span per fine row — a coarse traversal does
+// strictly fewer, longer streams over the same storage, and CellIndex still
+// delimits the spans, so empty fine-cell ranges cost one subtraction to
+// skip.
+//
+// Ownership survives coarsening: a coarse column is a union of fine
+// columns, so coarse columns have pairwise disjoint destination ranges and
+// the grid's lock-free column scheduling (Section 6.1.2) is valid at every
+// level; symmetrically, coarse rows are unions of fine rows, preserving the
+// disjoint-source argument for row scheduling. And because a destination's
+// updates always arrive from the cells of its (fine) column in ascending
+// fine-row order — whatever the level — the per-destination visit order is
+// the same at every resolution a single worker owns, which is what lets a
+// planner pin any one level for a whole run and stay bit-reproducible.
+
+// GridLevel is one resolution of a grid pyramid. Level 0 is the finest (the
+// materialized grid itself); each deeper level halves P. All levels share
+// the grid's edge slice and CellIndex — a level owns only its boundary
+// table.
+type GridLevel struct {
+	// P is the number of ranges per dimension at this level.
+	P int
+	// Factor is the number of fine ranges a coarse range covers (the last
+	// coarse range may cover fewer when the fine P is not a multiple).
+	Factor int
+	// RangeSize is the number of vertex ids covered by each coarse range
+	// (fine RangeSize times Factor).
+	RangeSize int
+	// Bounds has P+1 entries: coarse range r covers the fine ranges
+	// [Bounds[r], Bounds[r+1]). It serves rows and columns alike (the
+	// pyramid coarsens both dimensions identically).
+	Bounds []int
+	// Spans is the number of non-empty (fine row x coarse column) spans one
+	// full column-owned traversal visits at this level — the per-iteration
+	// setup work the planner's cost prior charges against the level.
+	Spans int
+}
+
+// CellBounds returns the half-open fine-cell intervals a coarse cell (I,J)
+// covers: fine rows [rLo,rHi) and fine columns [cLo,cHi).
+func (lv *GridLevel) CellBounds(row, col int) (rLo, rHi, cLo, cHi int) {
+	return lv.Bounds[row], lv.Bounds[row+1], lv.Bounds[col], lv.Bounds[col+1]
+}
+
+// BuildPyramid materializes the level tables, from the grid's own dimension
+// down to 1x1. It is idempotent and cheap — the tables are O(P) integers
+// per level plus one pass over CellIndex to count non-empty spans — and is
+// called by the prep builders so that steady-state iterations at any level
+// allocate nothing. Degenerate grids (P < 1, rejected by Validate but
+// representable) get no levels. It mutates the grid and is NOT safe to call
+// concurrently with readers — build at prep time; the engine never calls it
+// on a shared graph (see FineLevel for the pyramid-less fallback).
+func (g *Grid) BuildPyramid() {
+	if len(g.Levels) > 0 || g.P < 1 {
+		return
+	}
+	factor := 1
+	for p := g.P; ; p = (p + 1) / 2 {
+		lv := GridLevel{
+			P:         p,
+			Factor:    factor,
+			RangeSize: g.RangeSize * factor,
+			Bounds:    make([]int, p+1),
+		}
+		for r := 0; r <= p; r++ {
+			b := r * factor
+			if b > g.P {
+				b = g.P
+			}
+			lv.Bounds[r] = b
+		}
+		lv.Spans = g.countSpans(lv.Bounds)
+		g.Levels = append(g.Levels, lv)
+		if p == 1 {
+			break
+		}
+		factor *= 2
+	}
+}
+
+// countSpans counts the non-empty (fine row x coarse column) spans of one
+// full traversal over the given column boundaries.
+func (g *Grid) countSpans(bounds []int) int {
+	spans := 0
+	for row := 0; row < g.P; row++ {
+		base := row * g.P
+		for j := 0; j+1 < len(bounds); j++ {
+			if g.CellIndex[base+bounds[j]] < g.CellIndex[base+bounds[j+1]] {
+				spans++
+			}
+		}
+	}
+	return spans
+}
+
+// NumLevels returns the number of pyramid levels (0 when the pyramid has
+// not been built).
+func (g *Grid) NumLevels() int { return len(g.Levels) }
+
+// FineLevel returns a freshly built identity level describing the grid's
+// own resolution, WITHOUT attaching anything to the grid — the fallback
+// view the engine uses for grids built outside prep (no pyramid), so
+// concurrent runs over one shared graph never mutate it. Degenerate grids
+// (P < 1) yield an empty level that iterates nothing, preserving the
+// pre-pyramid no-op behaviour.
+func (g *Grid) FineLevel() GridLevel {
+	if g.P < 1 {
+		return GridLevel{Bounds: []int{0}}
+	}
+	lv := GridLevel{P: g.P, Factor: 1, RangeSize: g.RangeSize, Bounds: make([]int, g.P+1)}
+	for r := 0; r <= g.P; r++ {
+		lv.Bounds[r] = r
+	}
+	lv.Spans = g.countSpans(lv.Bounds)
+	return lv
+}
+
+// Level returns the i-th pyramid level (0 = finest).
+func (g *Grid) Level(i int) *GridLevel { return &g.Levels[i] }
+
+// LevelByP returns the pyramid level with dimension p, or nil when no such
+// level is materialized.
+func (g *Grid) LevelByP(p int) *GridLevel {
+	for i := range g.Levels {
+		if g.Levels[i].P == p {
+			return &g.Levels[i]
+		}
+	}
+	return nil
+}
+
+// LevelSpan returns the contiguous edge span of fine row `fineRow`
+// restricted to coarse column `col` of the level: the union of the fine
+// cells (fineRow, Bounds[col]..Bounds[col+1]), which row-major cell storage
+// keeps adjacent. Shared storage — the slice aliases the grid's edges.
+func (g *Grid) LevelSpan(lv *GridLevel, fineRow, col int) []Edge {
+	base := fineRow * g.P
+	return g.Edges[g.CellIndex[base+lv.Bounds[col]]:g.CellIndex[base+lv.Bounds[col+1]]]
+}
+
+// validatePyramid checks the level tables against the fine grid: monotone
+// boundaries covering [0, P], halving dimensions, and span/edge conservation
+// (every level's spans partition the edge slice).
+func (g *Grid) validatePyramid() error {
+	for i := range g.Levels {
+		lv := &g.Levels[i]
+		if i == 0 && (lv.P != g.P || lv.Factor != 1) {
+			return fmt.Errorf("graph: pyramid level 0 is %dx%d (factor %d), want the fine grid", lv.P, lv.P, lv.Factor)
+		}
+		if len(lv.Bounds) != lv.P+1 {
+			return fmt.Errorf("graph: pyramid level %d has %d bounds, want %d", i, len(lv.Bounds), lv.P+1)
+		}
+		if lv.Bounds[0] != 0 || lv.Bounds[lv.P] != g.P {
+			return fmt.Errorf("graph: pyramid level %d bounds do not cover the fine ranges", i)
+		}
+		var total uint64
+		for r := 0; r < lv.P; r++ {
+			if lv.Bounds[r] >= lv.Bounds[r+1] {
+				return fmt.Errorf("graph: pyramid level %d has an empty coarse range %d", i, r)
+			}
+		}
+		for row := 0; row < g.P; row++ {
+			for c := 0; c < lv.P; c++ {
+				total += uint64(len(g.LevelSpan(lv, row, c)))
+			}
+		}
+		if total != uint64(len(g.Edges)) {
+			return fmt.Errorf("graph: pyramid level %d spans %d edges, want %d", i, total, len(g.Edges))
+		}
+	}
+	return nil
+}

@@ -74,7 +74,7 @@ type group struct {
 // or budget ceiling — and reused across every pass and run in between.
 type streamPool struct {
 	store   *Store
-	workers int
+	workers int   // worker-count ceiling the pool is built for
 	cap     int64 // budget ceiling the arenas are sized for
 	// depthCap is the deepest prefetch pipeline the budget can feed without
 	// slices degenerating (mirrored by the planner's depth ceiling);
@@ -82,16 +82,23 @@ type streamPool struct {
 	// fit the ceiling by construction, whatever depth carves them up.
 	depthCap   int
 	arenaEdges int
-	maxSeg     int   // largest coalesced read any group issues
-	bounds     []int // column partition (workers+1 boundaries)
-	groups     []group
-	body       func(worker, lo, hi int) // compute fan-out body, bound once
+	// Column partitions and largest coalesced reads, one per pass worker
+	// count in [1, workers]: a pass may run on fewer workers than the pool
+	// was built for (the planner's bandwidth-saturation response), and the
+	// wider column groups of the reduced counts need their own boundaries.
+	// Precomputed here so choosing a count per pass allocates nothing.
+	boundsFor [][]int
+	maxSegFor []int
+	groups    []group
+	body      func(worker, lo, hi int) // compute fan-out body, bound once
 
 	// Per-pass state, set by beginPass before the fan-out starts.
-	depth    int
-	bufEdges int
-	visit    func(worker int, edges []graph.Edge)
-	abort    streamAbort
+	passWorkers int
+	passBounds  []int
+	depth       int
+	bufEdges    int
+	visit       func(worker int, edges []graph.Edge)
+	abort       streamAbort
 }
 
 // poolParams resolves the pass shape that determines the pool build: the
@@ -99,7 +106,10 @@ type streamPool struct {
 // core.StreamExecWorkers rule, so the planner's view of the parallelism is
 // exactly what runs) and the budget ceiling buffers are sized for.
 func (s *Store) poolParams(opt core.StreamOptions) (workers int, budgetCap int64) {
-	workers = opt.Workers
+	workers = opt.WorkersCap
+	if workers < opt.Workers {
+		workers = opt.Workers
+	}
 	if workers <= 0 {
 		workers = sched.MaxWorkers()
 	}
@@ -135,9 +145,16 @@ func (s *Store) ensurePoolLocked(opt core.StreamOptions) *streamPool {
 // the same bound the planner raises against, so planned depth == executed
 // depth).
 func (s *Store) buildPool(workers int, budgetCap int64) *streamPool {
-	bounds := partitionColumns(s.colEdges, workers)
+	// One column partition (and largest-read figure) per runnable pass
+	// worker count: index w holds the boundaries of a w-worker pass.
+	boundsFor := make([][]int, workers+1)
+	maxSegFor := make([]int, workers+1)
+	for w := 1; w <= workers; w++ {
+		boundsFor[w] = partitionColumns(s.colEdges, w)
+		maxSegFor[w] = maxRowSegmentEdges(s.cellIndex, s.header.P, boundsFor[w])
+	}
 	depthCap := core.StreamDepthCap(workers, budgetCap)
-	maxSeg := maxRowSegmentEdges(s.cellIndex, s.header.P, bounds)
+	maxSeg := maxSegFor[workers]
 	arenaEdges := int(budgetCap / (int64(workers) * residentEdgeBytes))
 	if maxSeg > 0 && arenaEdges > maxSeg*depthCap {
 		arenaEdges = maxSeg * depthCap
@@ -152,8 +169,8 @@ func (s *Store) buildPool(workers int, budgetCap int64) *streamPool {
 		cap:        budgetCap,
 		depthCap:   depthCap,
 		arenaEdges: arenaEdges,
-		maxSeg:     maxSeg,
-		bounds:     bounds,
+		boundsFor:  boundsFor,
+		maxSegFor:  maxSegFor,
 		groups:     make([]group, workers),
 	}
 	for i := range p.groups {
@@ -187,11 +204,20 @@ func (s *Store) stopPoolLocked() {
 	s.pool = nil
 }
 
-// beginPass resolves the per-pass knobs against the allocated arenas:
-// depth ≤ depthCap slots in rotation, each owning a 1/depth share of its
-// group's arena, with slices additionally bounded by the pass budget and by
-// the largest read that can ever fill (maxSeg).
+// beginPass resolves the per-pass knobs against the allocated arenas: the
+// pass's worker count (≤ the built ceiling) selects its precomputed column
+// partition, depth ≤ depthCap slots rotate per group, each owning a 1/depth
+// share of its group's arena, with slices additionally bounded by the pass
+// budget and by the largest read that can ever fill at this worker count.
 func (p *streamPool) beginPass(opt core.StreamOptions, visit func(worker int, edges []graph.Edge)) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = p.workers
+	}
+	workers = core.StreamExecWorkers(p.store.header.P, workers, p.cap)
+	if workers > p.workers {
+		workers = p.workers
+	}
 	depth := opt.PrefetchDepth
 	if depth <= 0 {
 		depth = core.DefaultPrefetchDepth
@@ -206,16 +232,17 @@ func (p *streamPool) beginPass(opt core.StreamOptions, visit func(worker int, ed
 	if budget <= 0 {
 		budget = p.cap
 	}
-	bufEdges := int(budget / (int64(p.workers) * int64(depth) * residentEdgeBytes))
+	bufEdges := int(budget / (int64(workers) * int64(depth) * residentEdgeBytes))
 	if share := p.arenaEdges / depth; bufEdges > share {
 		bufEdges = share
 	}
-	if p.maxSeg > 0 && bufEdges > p.maxSeg {
-		bufEdges = p.maxSeg
+	if maxSeg := p.maxSegFor[workers]; maxSeg > 0 && bufEdges > maxSeg {
+		bufEdges = maxSeg
 	}
 	if bufEdges < 1 {
 		bufEdges = 1
 	}
+	p.passWorkers, p.passBounds = workers, p.boundsFor[workers]
 	p.depth, p.bufEdges, p.visit = depth, bufEdges, visit
 	p.abort.reset()
 }
@@ -224,7 +251,7 @@ func (p *streamPool) beginPass(opt core.StreamOptions, visit func(worker int, ed
 // the parked fetcher, then consume filled slots in order until the
 // sentinel. The in-rotation buffers are accounted resident for the pass.
 func (p *streamPool) runGroup(gi int) {
-	if p.bounds[gi] >= p.bounds[gi+1] {
+	if p.passBounds[gi] >= p.passBounds[gi+1] {
 		return
 	}
 	g := &p.groups[gi]
@@ -234,7 +261,7 @@ func (p *streamPool) runGroup(gi int) {
 	s.stats.addResident(resident)
 	defer s.stats.addResident(-resident)
 
-	g.req <- passReq{colLo: p.bounds[gi], colHi: p.bounds[gi+1], depth: p.depth, bufEdges: p.bufEdges}
+	g.req <- passReq{colLo: p.passBounds[gi], colHi: p.passBounds[gi+1], depth: p.depth, bufEdges: p.bufEdges}
 	for {
 		t0 := time.Now()
 		idx := <-g.filled

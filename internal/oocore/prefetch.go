@@ -130,7 +130,7 @@ func (s *Store) StreamCells(opt core.StreamOptions, visit func(worker int, edges
 	defer s.poolMu.Unlock()
 	p := s.ensurePoolLocked(opt)
 	p.beginPass(opt, visit)
-	sched.ParallelForWorker(0, p.workers, 1, p.workers, p.body)
+	sched.ParallelForWorker(0, p.passWorkers, 1, p.passWorkers, p.body)
 	p.visit = nil
 	if err := p.abort.take(); err != nil {
 		return err

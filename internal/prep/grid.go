@@ -27,6 +27,7 @@ func buildGridRadix(edges []graph.Edge, numVertices, requestedP, workers int) *g
 		CellIndex:   make([]uint64, numCells+1),
 	}
 	if n == 0 {
+		g.BuildPyramid()
 		return g
 	}
 
@@ -82,6 +83,9 @@ func buildGridRadix(edges []graph.Edge, numVertices, requestedP, workers int) *g
 			offs[cell]++
 		}
 	})
+	// The pyramid's level tables are part of pre-processing: building them
+	// here is what keeps per-iteration level switches allocation-free.
+	g.BuildPyramid()
 	return g
 }
 
@@ -116,5 +120,6 @@ func buildGridDynamic(edges []graph.Edge, numVertices, requestedP int) *graph.Gr
 		g.Edges = append(g.Edges, cells[cell]...)
 	}
 	g.CellIndex[numCells] = uint64(len(g.Edges))
+	g.BuildPyramid()
 	return g
 }
