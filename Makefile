@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt-check vet test race bench bench-adaptive bench-json
+.PHONY: all build fmt-check vet test race bench bench-adaptive bench-compressed bench-json
 
 all: fmt-check vet build test
 
@@ -35,8 +35,16 @@ bench-adaptive:
 	$(GO) test -run '^$$' -bench 'Auto|PushPull|PullIter' -benchmem ./internal/core/
 	$(GO) run ./cmd/benchrunner -plan-trace
 
+# Compressed-layout cases: delta+varint cell encode/decode, the in-memory
+# compressed grid against the raw grid, and the version-2 (compressed
+# segment) store against the version-1 streamed baseline.
+bench-compressed:
+	$(GO) test -run '^$$' -bench 'CellEncode|DecodeCell' -benchmem ./internal/graph/
+	$(GO) test -run '^$$' -bench 'Compressed' -benchmem ./internal/core/
+	$(GO) test -run '^$$' -bench 'V2|StreamedPageRank|StreamPass' -benchmem ./internal/oocore/
+
 # Archive the machine-readable perf trajectory. Bump the number when a PR
 # records a new baseline (BENCH_<pr>.json).
-BENCH_JSON ?= BENCH_5.json
+BENCH_JSON ?= BENCH_6.json
 bench-json:
 	$(GO) run ./cmd/benchrunner -perf-json $(BENCH_JSON)

@@ -11,6 +11,7 @@
 //	benchrunner -experiment fig9 -rmat-scale 22
 //	benchrunner -perf-json BENCH_1.json        # archive the perf trajectory
 //	benchrunner -plan-trace                    # print adaptive plan traces
+//	benchrunner -plan-trace -cost-cache costs.json  # warm-start adaptive cases
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		quick       = flag.Bool("quick", false, "use the small quick scale (for smoke runs)")
 		perfJSON    = flag.String("perf-json", "", "run the perf trajectory suite (RMAT-scale-16 engine microbenchmarks) and write the JSON report to this path instead of running experiments")
 		planTrace   = flag.Bool("plan-trace", false, "run the adaptive (-flow auto) cases once — in-memory and streamed over a grid store — and print their per-iteration plan traces instead of running experiments")
+		costCache   = flag.String("cost-cache", "", "JSON cost cache for the adaptive cases of -perf-json and -plan-trace: seed each case's cost model with this dataset's measured per-edge plan costs and append this run's measurements (same file format as egraph -cost-cache)")
 	)
 	flag.Parse()
 
@@ -55,6 +57,11 @@ func main() {
 	scale.PagerankIterations = *prIters
 	scale.Workers = *workers
 	scale.Seed = *seed
+	scale.CostCachePath = *costCache
+	if *costCache != "" && *perfJSON == "" && !*planTrace {
+		fmt.Fprintln(os.Stderr, "benchrunner: -cost-cache feeds the adaptive perf cases; it requires -perf-json or -plan-trace")
+		os.Exit(1)
+	}
 	if *quick {
 		// Quick mode keeps its reduced sizes unless explicitly overridden.
 		if !flagPassed("rmat-scale") {

@@ -42,7 +42,7 @@ func main() {
 		directed  = flag.Bool("directed", true, "treat the input file as directed")
 		scale     = flag.Int("scale", 18, "log2 of the vertex count for generated graphs")
 		seed      = flag.Int64("seed", 42, "generator seed")
-		layoutF   = flag.String("layout", "adjacency", "edgearray | adjacency | adjacency-sorted | grid")
+		layoutF   = flag.String("layout", "adjacency", "edgearray | adjacency | adjacency-sorted | grid | grid-compressed")
 		flowF     = flag.String("flow", "push", "push | pull | pushpull | auto (adaptive planner)")
 		syncF     = flag.String("sync", "atomics", "locks | atomics | nolock")
 		prepF     = flag.String("prep", "radix", "dynamic | count | radix")
@@ -309,6 +309,8 @@ func parseLayout(s string) (everythinggraph.Layout, error) {
 		return everythinggraph.LayoutAdjacencySorted, nil
 	case "grid":
 		return everythinggraph.LayoutGrid, nil
+	case "grid-compressed", "compressed":
+		return everythinggraph.LayoutGridCompressed, nil
 	default:
 		return 0, fmt.Errorf("unknown layout %q", s)
 	}

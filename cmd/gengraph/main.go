@@ -14,6 +14,7 @@
 //	gengraph -kind rmat -scale 22 -o rmat22.bin -format binary
 //	gengraph -kind rmat -scale 20 -o rmat20.egs -format store -p 256
 //	gengraph -kind rmat -scale 20 -o rmat20u.egs -format store -undirected
+//	gengraph -kind rmat -scale 20 -o rmat20c.egs -format store -compress
 //	gengraph -kind road -side 1024 -o road.txt
 //	gengraph -kind bipartite -users 100000 -items 5000 -o ratings.txt
 package main
@@ -44,6 +45,7 @@ func main() {
 		format     = flag.String("format", "text", "text | binary | store (partitioned grid store)")
 		gridP      = flag.Int("p", 0, "grid dimension for -format store (0 = paper's 256, clamped)")
 		undirected = flag.Bool("undirected", false, "mirror each edge into the store (store format only; required by WCC)")
+		compress   = flag.Bool("compress", false, "write a version-2 store with delta+varint-compressed cell segments (store format only)")
 	)
 	flag.Parse()
 
@@ -61,15 +63,19 @@ func main() {
 			NumVertices: numVertices,
 			GridP:       *gridP,
 			Undirected:  *undirected,
+			Compressed:  *compress,
 		}, stream)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "gengraph: wrote %d vertices, %d stored edges (%s, %dx%d grid store)\n",
-			h.NumVertices, h.NumEdges, *kind, h.P, h.P)
+		fmt.Fprintf(os.Stderr, "gengraph: wrote %d vertices, %d stored edges (%s, %dx%d grid store, format v%d)\n",
+			h.NumVertices, h.NumEdges, *kind, h.P, h.P, h.Version)
 	case "text", "binary":
 		if *undirected {
 			fatal(fmt.Errorf("-undirected applies only to -format store (edge lists record each edge once)"))
+		}
+		if *compress {
+			fatal(fmt.Errorf("-compress applies only to -format store (see graphstats -store for ratios)"))
 		}
 		w := io.Writer(os.Stdout)
 		if *out != "" {

@@ -83,6 +83,11 @@ const (
 	LayoutAdjacencySorted = graph.LayoutAdjacencySorted
 	// LayoutGrid iterates a 2-D grid of edge cells.
 	LayoutGrid = graph.LayoutGrid
+	// LayoutGridCompressed iterates the grid's delta+varint-compressed
+	// cells: the same cell structure and per-destination visit order (so
+	// float results stay bit-identical to LayoutGrid), a fraction of the
+	// memory traffic.
+	LayoutGridCompressed = graph.LayoutGridCompressed
 )
 
 // Flow constants.
@@ -353,6 +358,12 @@ func (g *Graph) Prepare(cfg Config) (Breakdown, error) {
 				return bd, err
 			}
 		}
+	case LayoutGridCompressed:
+		if g.g.Compressed == nil {
+			if err := prep.BuildCompressedGrid(g.g, cfg.GridP, opt); err != nil {
+				return bd, err
+			}
+		}
 	default:
 		return bd, fmt.Errorf("everythinggraph: unknown layout %v", cfg.Layout)
 	}
@@ -444,6 +455,16 @@ func BuildStore(path string, g *Graph, gridP int, undirected bool) error {
 	return err
 }
 
+// BuildCompressedStore is BuildStore for the version-2 format: cells are
+// written as delta+varint-compressed segments (weights, when present, in a
+// parallel plane), decoded inside the prefetch pipeline during streamed
+// runs. Results stay bit-identical to version-1 stores and in-memory runs;
+// only the bytes moved per pass shrink.
+func BuildCompressedStore(path string, g *Graph, gridP int, undirected bool) error {
+	_, err := oocore.BuildCompressedStoreFromGraph(path, g.g, gridP, undirected)
+	return err
+}
+
 // Close releases the store's file handle.
 func (st *Store) Close() error { return st.s.Close() }
 
@@ -459,6 +480,34 @@ func (st *Store) GridP() int { return st.s.GridP() }
 
 // Undirected reports whether edges were mirrored into the store.
 func (st *Store) Undirected() bool { return st.s.Undirected() }
+
+// FormatVersion returns the store's on-disk format version: 1 for
+// fixed-record segments, 2 for compressed segments.
+func (st *Store) FormatVersion() int { return st.s.Header().Version }
+
+// Compressed reports whether the store holds compressed (version-2) cell
+// segments.
+func (st *Store) Compressed() bool { return st.s.Compressed() }
+
+// Weighted reports whether a version-2 store carries a weight plane
+// (version-1 stores always store weights inline, so this is only
+// meaningful for compressed stores).
+func (st *Store) Weighted() bool { return st.s.Header().Weighted }
+
+// CompressionRatio returns raw edge bytes (12 per stored edge) over the
+// store's actual edge-data footprint — 1 for version-1 stores, typically
+// 3-5x for compressed RMAT stores.
+func (st *Store) CompressionRatio() float64 {
+	p := st.s.GridP()
+	var stored int64
+	for cell := 0; cell < p*p; cell++ {
+		stored += st.s.CellStoredBytes(cell)
+	}
+	if stored == 0 {
+		return 1
+	}
+	return float64(st.s.NumEdges()*12) / float64(stored)
+}
 
 // SetDevice attaches a virtual-bandwidth device model (DeviceSSD,
 // DeviceHDD) to the store. Reads always account the simulated device time;

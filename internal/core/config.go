@@ -253,8 +253,9 @@ func ValidateTechniques(layout graph.Layout, flow Flow, sync SyncMode) error {
 		if flow == Push && sync == SyncPartitionFree {
 			return fmt.Errorf("core: push on adjacency lists requires locks or atomics (destinations are not partitioned)")
 		}
-	case graph.LayoutGrid:
-		// Every flow/sync combination has a grid path.
+	case graph.LayoutGrid, graph.LayoutGridCompressed:
+		// Every flow/sync combination has a grid path; the compressed grid
+		// runs the same cell kernels behind a per-cell decode.
 	default:
 		return fmt.Errorf("core: unknown layout %v", layout)
 	}
@@ -301,7 +302,7 @@ func (cfg Config) Validate(g *graph.Graph) error {
 		// The planner works with whatever layouts are materialized; it
 		// needs at least one (the edge array qualifies whenever the dataset
 		// has edges, so this only fires on degenerate inputs).
-		if g.Out == nil && g.In == nil && g.Grid == nil && len(g.EdgeArray.Edges) == 0 {
+		if g.Out == nil && g.In == nil && g.Grid == nil && g.Compressed == nil && len(g.EdgeArray.Edges) == 0 {
 			return fmt.Errorf("core: auto flow needs at least one materialized layout or a non-empty edge array")
 		}
 		return nil
@@ -323,6 +324,10 @@ func (cfg Config) Validate(g *graph.Graph) error {
 	case graph.LayoutGrid:
 		if g.Grid == nil {
 			return fmt.Errorf("core: grid layout requested but not built (run prep.BuildGrid)")
+		}
+	case graph.LayoutGridCompressed:
+		if g.Compressed == nil {
+			return fmt.Errorf("core: compressed grid layout requested but not built (run prep.BuildCompressedGrid)")
 		}
 	}
 	return nil

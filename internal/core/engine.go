@@ -160,6 +160,15 @@ type runner struct {
 	degBody        func(worker, lo, hi int) // sums active out-degrees into degSums
 	gridOwnedBody  func(worker, lo, hi int) // column-owned grid traversal
 	gridCellsBody  func(worker, lo, hi int) // cell-parallel grid traversal
+	compOwnedBody  func(worker, lo, hi int) // column-owned compressed-grid traversal
+	compCellsBody  func(worker, lo, hi int) // cell-parallel compressed-grid traversal
+
+	// Compressed-grid state: the layout and the per-worker decode scratch
+	// (one MaxCellEdges-sized arena per worker, allocated on the first
+	// compressed iteration and reused for the rest of the run, so
+	// steady-state compressed iterations stay allocation-free).
+	comp        *graph.CompressedGrid
+	compScratch [][]graph.Edge
 
 	// Grid cell functions: all variants bound once, cellFn selects per
 	// iteration (push-pull can change direction between iterations).
@@ -247,7 +256,10 @@ func newRunner(g *graph.Graph, alg Algorithm, cfg Config, workers int) *runner {
 		r.degSums[worker].v += acc
 	}
 
-	if g.Grid != nil {
+	if g.Grid != nil || g.Compressed != nil {
+		// The cell kernels are shared by the raw and compressed grids: the
+		// compressed path decodes a cell into scratch and hands the decoded
+		// slice to exactly these functions.
 		r.cellPushOwned = r.runCellPushOwned
 		r.cellPushAtomic = r.runCellPushAtomic
 		r.cellPushLocks = r.runCellPushLocks
@@ -256,6 +268,34 @@ func newRunner(g *graph.Graph, alg Algorithm, cfg Config, workers int) *runner {
 		r.cellPullAtomic = r.runCellPullAtomic
 		r.cellPullLocks = r.runCellPullLocks
 		r.cellPullPlain = r.runCellPullPlain
+	}
+	if g.Compressed != nil {
+		r.comp = g.Compressed
+		comp := g.Compressed
+		// The compressed bodies mirror the grid bodies at the layout's single
+		// resolution: ascending rows per column (owned) fix the same
+		// per-destination visit order as the raw grid, so decoded execution
+		// is bit-identical to it.
+		r.compOwnedBody = func(worker, lo, hi int) {
+			scratch := r.compScratch[worker]
+			for col := lo; col < hi; col++ {
+				for row := 0; row < comp.P; row++ {
+					if cell := comp.DecodeCell(row, col, scratch); len(cell) > 0 {
+						r.cellFn(worker, cell)
+					}
+				}
+			}
+		}
+		r.compCellsBody = func(worker, lo, hi int) {
+			scratch := r.compScratch[worker]
+			for c := lo; c < hi; c++ {
+				if cell := comp.DecodeCell(c/comp.P, c%comp.P, scratch); len(cell) > 0 {
+					r.cellFn(worker, cell)
+				}
+			}
+		}
+	}
+	if g.Grid != nil {
 		grid := g.Grid
 		// The grid bodies execute at whatever pyramid level the plan chose
 		// (r.level, set per iteration by gridStep). A coarse column J covers

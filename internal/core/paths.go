@@ -31,6 +31,8 @@ func (r *runner) execute(plan StepPlan, frontier *graph.Frontier) *graph.Frontie
 		return r.edgeCentric(frontier)
 	case graph.LayoutGrid:
 		return r.gridStep(frontier, plan)
+	case graph.LayoutGridCompressed:
+		return r.compressedStep(frontier, plan)
 	default: // LayoutAdjacency, LayoutAdjacencySorted
 		if plan.Flow == Pull {
 			return r.vertexPull(frontier)
@@ -407,39 +409,75 @@ func (r *runner) gridStep(frontier *graph.Frontier, plan StepPlan) *graph.Fronti
 	r.level = r.gridLevel(plan)
 	r.bits = frontier.Bitmap()
 	b := r.nextBuilder()
+	r.setCellFn(plan)
 
-	owned := plan.Sync == SyncPartitionFree
-	if plan.Flow == Pull {
-		switch {
-		case owned:
-			r.cellFn = r.cellPullOwned
-		case plan.Sync == SyncAtomics:
-			r.cellFn = r.cellPullAtomic
-		case plan.Sync == SyncLocks:
-			r.cellFn = r.cellPullLocks
-		default:
-			r.cellFn = r.cellPullPlain
-		}
-	} else {
-		switch {
-		case owned:
-			r.cellFn = r.cellPushOwned
-		case plan.Sync == SyncAtomics:
-			r.cellFn = r.cellPushAtomic
-		case plan.Sync == SyncLocks:
-			r.cellFn = r.cellPushLocks
-		default:
-			r.cellFn = r.cellPushPlain
-		}
-	}
-
-	if owned {
+	if plan.Sync == SyncPartitionFree {
 		// Column ownership: worker processes every span of its (level)
 		// columns.
 		sched.ParallelForWorker(0, r.level.P, 1, r.workers, r.gridOwnedBody)
 	} else {
 		// Cell-parallel with synchronized updates, over the level's cells.
 		sched.ParallelForWorker(0, r.level.P*r.level.P, 4, r.workers, r.gridCellsBody)
+	}
+	if b == nil {
+		return nil
+	}
+	return r.collect(b)
+}
+
+// setCellFn binds the cell kernel the plan's flow and sync mode select —
+// shared by the raw-grid and compressed-grid steps, which run identical
+// kernels over (decoded) cell slices.
+func (r *runner) setCellFn(plan StepPlan) {
+	if plan.Flow == Pull {
+		switch plan.Sync {
+		case SyncPartitionFree:
+			r.cellFn = r.cellPullOwned
+		case SyncAtomics:
+			r.cellFn = r.cellPullAtomic
+		case SyncLocks:
+			r.cellFn = r.cellPullLocks
+		default:
+			r.cellFn = r.cellPullPlain
+		}
+	} else {
+		switch plan.Sync {
+		case SyncPartitionFree:
+			r.cellFn = r.cellPushOwned
+		case SyncAtomics:
+			r.cellFn = r.cellPushAtomic
+		case SyncLocks:
+			r.cellFn = r.cellPushLocks
+		default:
+			r.cellFn = r.cellPushPlain
+		}
+	}
+}
+
+// compressedStep runs one iteration over the compressed grid: the grid
+// step's scheduling and kernels at the layout's single resolution, with each
+// cell decoded into the worker's scratch on the way in. The decode preserves
+// the cell's edge order, so per-destination visit order — and result bits —
+// match the raw grid exactly; its CPU cost lands inside the iteration's
+// timed window, which is how the planner measures it.
+func (r *runner) compressedStep(frontier *graph.Frontier, plan StepPlan) *graph.Frontier {
+	if r.compScratch == nil {
+		r.compScratch = make([][]graph.Edge, r.workers)
+		for i := range r.compScratch {
+			r.compScratch[i] = make([]graph.Edge, r.comp.MaxCellEdges)
+		}
+	}
+	r.bits = frontier.Bitmap()
+	b := r.nextBuilder()
+	r.setCellFn(plan)
+
+	if plan.Sync == SyncPartitionFree {
+		// Column ownership: a worker decodes and applies every cell of its
+		// columns in ascending row order.
+		sched.ParallelForWorker(0, r.comp.P, 1, r.workers, r.compOwnedBody)
+	} else {
+		// Cell-parallel with synchronized updates.
+		sched.ParallelForWorker(0, r.comp.P*r.comp.P, 4, r.workers, r.compCellsBody)
 	}
 	if b == nil {
 		return nil

@@ -87,14 +87,14 @@ func formatBytes(n int64) string {
 }
 
 // String returns the "layout/flow/sync" label used in plan traces — grid
-// plans carry their resolution as "grid/<P>/flow/sync" — with the I/O recipe
-// appended for streamed plans. Non-grid in-memory plans render exactly as
-// before the IO and resolution dimensions existed, keeping recorded traces
-// comparable.
+// plans carry their resolution as "grid/<P>/flow/sync", compressed plans as
+// "compressed/<P>/flow/sync" — with the I/O recipe appended for streamed
+// plans. Non-grid in-memory plans render exactly as before the IO and
+// resolution dimensions existed, keeping recorded traces comparable.
 func (p StepPlan) String() string {
 	layout := p.Layout.String()
-	if p.Layout == graph.LayoutGrid && p.GridLevel > 0 {
-		layout = fmt.Sprintf("grid/%d", p.GridLevel)
+	if (p.Layout == graph.LayoutGrid || p.Layout == graph.LayoutGridCompressed) && p.GridLevel > 0 {
+		layout = fmt.Sprintf("%s/%d", layout, p.GridLevel)
 	}
 	if p.IO.PrefetchDepth > 0 {
 		return fmt.Sprintf("%s/%v/%v%v", layout, p.Flow, p.Sync, p.IO)
@@ -182,7 +182,7 @@ func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMo
 		// direction is not a meaningful choice (Validate rejects PushPull).
 		resolved = Push
 	}
-	if layout != graph.LayoutGrid {
+	if layout != graph.LayoutGrid && layout != graph.LayoutGridCompressed {
 		gridP = 0
 	}
 	return &fixedPlanner{
@@ -484,7 +484,13 @@ const (
 	priorAdjacencyPush = 1.6
 	priorGridPush      = 2.4
 	priorGridPull      = 2.5
-	priorEdgeArray     = 3.0
+	// The compressed grid runs the raw grid's kernels behind a per-cell
+	// decode, so its priors sit just above the grid's (decode CPU is assumed
+	// to cost a little until measured) and below the edge array's — on a
+	// bandwidth-bound machine one measured iteration flips the ordering.
+	priorCompressedPush = 2.7
+	priorCompressedPull = 2.8
+	priorEdgeArray      = 3.0
 )
 
 // Grid-resolution prior terms. The base grid priors above describe an
@@ -808,16 +814,19 @@ func newPlanner(g *graph.Graph, cfg Config, r *runner, alpha int, workers int, t
 	}
 
 	if cfg.Flow != Auto {
-		if cfg.Layout == graph.LayoutGrid {
+		var gridP int
+		switch cfg.Layout {
+		case graph.LayoutGrid:
 			// The grid has no per-vertex out index; its direction switch
 			// uses the active-vertex heuristic even when an out-adjacency
 			// happens to be resident, preserving the measured behaviour of
 			// the paper's grid configurations.
 			env.activeOutEdges = nil
-		}
-		var gridP int
-		if cfg.Layout == graph.LayoutGrid {
 			gridP = pinnedGridP(g.Grid, cfg.GridLevels)
+		case graph.LayoutGridCompressed:
+			// Same heuristic; the compressed grid has a single resolution.
+			env.activeOutEdges = nil
+			gridP = g.Compressed.P
 		}
 		return newFixedPlanner(env, cfg.Layout, cfg.Flow, cfg.Sync, gridP), nil
 	}
@@ -915,6 +924,23 @@ func autoCandidates(g *graph.Graph, cfg Config, workers int, tracked bool) []pla
 			}
 		}
 	}
+	if g.Compressed != nil {
+		// One push/pull pair at the compressed grid's (single) resolution.
+		// Its prior starts above the raw grid's — the decode is assumed to
+		// cost until measured — so the planner reaches for it exactly when
+		// measurements show decode CPU buys back more bandwidth than it
+		// spends, or when it is the only cell layout materialized.
+		for _, d := range []struct {
+			flow  Flow
+			prior float64
+		}{{Push, priorCompressedPush}, {Pull, priorCompressedPull}} {
+			cs = append(cs, planCandidate{
+				plan:     StepPlan{Layout: graph.LayoutGridCompressed, Flow: d.flow, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: g.Compressed.P},
+				prior:    d.prior,
+				fullScan: true,
+			})
+		}
+	}
 	if len(g.EdgeArray.Edges) > 0 {
 		cs = append(cs, planCandidate{
 			plan:     StepPlan{Layout: graph.LayoutEdgeArray, Flow: Push, Sync: SyncAtomics, Tracked: tracked},
@@ -957,22 +983,30 @@ func newStreamPlanner(src Source, cfg Config, workers, alpha int, tracked bool) 
 	}
 	// The store's resolution is fixed on disk, so streamed plans always
 	// carry it (labels and cost entries stay per-resolution, exactly like
-	// the in-memory pyramid's) but the planner never varies it.
+	// the in-memory pyramid's) but the planner never varies it. Compressed
+	// (v2) stores label and cost their plans as "compressed/<P>" so traces
+	// and cached measurements never conflate the two storage formats.
 	gridP := src.GridP()
+	layout := graph.LayoutGrid
+	pushPrior, pullPrior := priorGridPush, priorGridPull
+	if src.Compressed() {
+		layout = graph.LayoutGridCompressed
+		pushPrior, pullPrior = priorCompressedPush, priorCompressedPull
+	}
 	if cfg.Flow != Auto {
-		p := newFixedPlanner(env, graph.LayoutGrid, cfg.Flow, SyncPartitionFree, gridP)
+		p := newFixedPlanner(env, layout, cfg.Flow, SyncPartitionFree, gridP)
 		p.io = newIOPlanner(cfg, workers, false)
 		return p
 	}
 	p := newAdaptivePlanner(env, []planCandidate{
 		{
-			plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: gridP},
-			prior:    priorGridPush,
+			plan:     StepPlan{Layout: layout, Flow: Push, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: gridP},
+			prior:    pushPrior,
 			fullScan: true,
 		},
 		{
-			plan:     StepPlan{Layout: graph.LayoutGrid, Flow: Pull, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: gridP},
-			prior:    priorGridPull,
+			plan:     StepPlan{Layout: layout, Flow: Pull, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: gridP},
+			prior:    pullPrior,
 			fullScan: true,
 		},
 	}, cfg.CostPriors)

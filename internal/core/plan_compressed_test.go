@@ -1,0 +1,330 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+)
+
+// prepareCompressed builds the compressed grid (and the raw grid it derives
+// from) on a graph.
+func prepareCompressed(t testing.TB, g *graph.Graph, undirected bool) {
+	t.Helper()
+	opt := prep.Options{Method: prep.RadixSort, Undirected: undirected}
+	if err := prep.BuildCompressedGrid(g, 16, opt); err != nil {
+		t.Fatalf("BuildCompressedGrid: %v", err)
+	}
+	if err := g.Compressed.Validate(); err != nil {
+		t.Fatalf("compressed grid invalid: %v", err)
+	}
+}
+
+func TestCompressedValidation(t *testing.T) {
+	// Every flow/sync combination is graph-independently legal, like the
+	// raw grid's.
+	for _, flow := range []Flow{Push, Pull, PushPull} {
+		for _, sync := range []SyncMode{SyncLocks, SyncAtomics, SyncPartitionFree} {
+			if err := ValidateTechniques(graph.LayoutGridCompressed, flow, sync); err != nil {
+				t.Fatalf("compressed/%v/%v rejected: %v", flow, sync, err)
+			}
+		}
+	}
+	// But running needs the layout materialized.
+	g := chainGraph(10)
+	cfg := Config{Layout: graph.LayoutGridCompressed, Flow: Push, Sync: SyncPartitionFree}
+	if err := cfg.Validate(g); err == nil {
+		t.Fatal("compressed config validated without a compressed grid built")
+	}
+	prepareCompressed(t, g, false)
+	if err := cfg.Validate(g); err != nil {
+		t.Fatalf("compressed config rejected after BuildCompressedGrid: %v", err)
+	}
+}
+
+// compressedConfigs enumerates the flow/sync combinations of the compressed
+// layout for general algorithms.
+func compressedConfigs() []Config {
+	return []Config{
+		{Layout: graph.LayoutGridCompressed, Flow: Push, Sync: SyncPartitionFree},
+		{Layout: graph.LayoutGridCompressed, Flow: Push, Sync: SyncAtomics},
+		{Layout: graph.LayoutGridCompressed, Flow: Push, Sync: SyncLocks},
+		{Layout: graph.LayoutGridCompressed, Flow: Pull, Sync: SyncPartitionFree},
+		{Layout: graph.LayoutGridCompressed, Flow: PushPull, Sync: SyncPartitionFree},
+	}
+}
+
+func TestBFSCompressedMatchesReference(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 10, EdgeFactor: 8, Seed: 7})
+	prepareAll(t, g, false) // reference BFS needs the out-adjacency
+	prepareCompressed(t, g, false)
+	ref := referenceBFSLevels(g, 0)
+	for _, cfg := range compressedConfigs() {
+		name := cfg.Layout.String() + "/" + cfg.Flow.String() + "/" + cfg.Sync.String()
+		t.Run(name, func(t *testing.T) {
+			bfs := algorithms.NewBFS(0)
+			if _, err := Run(g, bfs, cfg); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			for v := range ref {
+				if bfs.Level[v] != ref[v] {
+					t.Fatalf("level[%d] = %d, want %d", v, bfs.Level[v], ref[v])
+				}
+			}
+		})
+	}
+}
+
+// TestPageRankCompressedBitIdenticalToGrid is the layout's core contract:
+// decoding a cell preserves its edge order, so the floating-point
+// accumulation order — and hence every result bit — matches the raw grid.
+func TestPageRankCompressedBitIdenticalToGrid(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 10, EdgeFactor: 8, Seed: 3})
+	prepareCompressed(t, g, false)
+	for _, flow := range []Flow{Push, Pull} {
+		gridPR := algorithms.NewPageRank()
+		gridPR.Iterations = 5
+		if _, err := Run(g, gridPR, Config{Layout: graph.LayoutGrid, Flow: flow, Sync: SyncPartitionFree}); err != nil {
+			t.Fatalf("grid run: %v", err)
+		}
+		compPR := algorithms.NewPageRank()
+		compPR.Iterations = 5
+		if _, err := Run(g, compPR, Config{Layout: graph.LayoutGridCompressed, Flow: flow, Sync: SyncPartitionFree}); err != nil {
+			t.Fatalf("compressed run: %v", err)
+		}
+		for v := range gridPR.Rank {
+			if gridPR.Rank[v] != compPR.Rank[v] {
+				t.Fatalf("flow %v: rank[%d] differs: grid %v, compressed %v (must be bit-identical)",
+					flow, v, gridPR.Rank[v], compPR.Rank[v])
+			}
+		}
+	}
+}
+
+// TestSpMVCompressedBitIdenticalToGrid exercises the parallel weight plane:
+// weighted kernels must see exactly the raw grid's weights in exactly its
+// order.
+func TestSpMVCompressedBitIdenticalToGrid(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const n = 2000
+	edges := make([]graph.Edge, 20000)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src: graph.VertexID(rng.Intn(n)),
+			Dst: graph.VertexID(rng.Intn(n)),
+			W:   graph.Weight(rng.Intn(16) + 1),
+		}
+	}
+	g := graph.New(edges, n, true)
+	prepareCompressed(t, g, false)
+	if g.Compressed.Weights == nil {
+		t.Fatal("weighted graph compressed without a weight plane")
+	}
+
+	gridSpMV := algorithms.NewSpMV()
+	if _, err := Run(g, gridSpMV, Config{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree}); err != nil {
+		t.Fatalf("grid run: %v", err)
+	}
+	compSpMV := algorithms.NewSpMV()
+	if _, err := Run(g, compSpMV, Config{Layout: graph.LayoutGridCompressed, Flow: Push, Sync: SyncPartitionFree}); err != nil {
+		t.Fatalf("compressed run: %v", err)
+	}
+	gy, cy := gridSpMV.Result(), compSpMV.Result()
+	for v := range gy {
+		if gy[v] != cy[v] {
+			t.Fatalf("y[%d] differs: grid %v, compressed %v (must be bit-identical)", v, gy[v], cy[v])
+		}
+	}
+}
+
+func TestWCCCompressedLabelIdenticalToGrid(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 9, EdgeFactor: 4, Seed: 11})
+	g.Directed = false
+	prepareCompressed(t, g, true)
+
+	gridWCC := algorithms.NewWCC()
+	if _, err := Run(g, gridWCC, Config{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree}); err != nil {
+		t.Fatalf("grid run: %v", err)
+	}
+	compWCC := algorithms.NewWCC()
+	if _, err := Run(g, compWCC, Config{Layout: graph.LayoutGridCompressed, Flow: Push, Sync: SyncPartitionFree}); err != nil {
+		t.Fatalf("compressed run: %v", err)
+	}
+	for v := range gridWCC.Labels {
+		if gridWCC.Labels[v] != compWCC.Labels[v] {
+			t.Fatalf("label[%d] differs: grid %d, compressed %d", v, gridWCC.Labels[v], compWCC.Labels[v])
+		}
+	}
+}
+
+func TestAutoCandidatesIncludeCompressed(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 8, EdgeFactor: 4, Seed: 1})
+	prepareCompressed(t, g, false)
+	cs := autoCandidates(g, Config{Flow: Auto}, 4, true)
+	var gotPush, gotPull bool
+	for _, c := range cs {
+		if c.plan.Layout != graph.LayoutGridCompressed {
+			continue
+		}
+		if c.plan.GridLevel != g.Compressed.P {
+			t.Fatalf("compressed candidate carries level %d, want %d", c.plan.GridLevel, g.Compressed.P)
+		}
+		if c.plan.Sync != SyncPartitionFree || !c.fullScan {
+			t.Fatalf("compressed candidate misconfigured: %+v", c)
+		}
+		if want := "compressed/"; !strings.HasPrefix(c.plan.String(), want) {
+			t.Fatalf("compressed candidate labeled %q, want prefix %q", c.plan.String(), want)
+		}
+		switch c.plan.Flow {
+		case Push:
+			gotPush = true
+		case Pull:
+			gotPull = true
+		}
+	}
+	if !gotPush || !gotPull {
+		t.Fatalf("auto candidates missing compressed push/pull pair (push=%v pull=%v)", gotPush, gotPull)
+	}
+}
+
+// TestAutoCompressedOnlyGraphPlansCompressed drops the raw grid so the
+// compressed layout is the only cell layout materialized: its prior sits
+// below the edge array's, so a dense auto run (frozen on the cheapest prior)
+// must execute every iteration under the "compressed/<P>" label — the
+// deterministic trace the CI smoke greps for. A tracked run additionally
+// starts compressed, before measurements may legitimately move it.
+func TestAutoCompressedOnlyGraphPlansCompressed(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 10, EdgeFactor: 8, Seed: 7})
+	prepareCompressed(t, g, false)
+	g.Grid = nil
+
+	pr := algorithms.NewPageRank()
+	pr.Iterations = 3
+	res, err := Run(g, pr, Config{Flow: Auto})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	trace := res.PlanTrace()
+	if len(trace) == 0 {
+		t.Fatal("no iterations recorded")
+	}
+	for i, label := range trace {
+		if !strings.HasPrefix(label, "compressed/") {
+			t.Fatalf("iteration %d planned %q; a dense run on a compressed-only graph must freeze on compressed/", i, label)
+		}
+	}
+
+	bfs := algorithms.NewBFS(0)
+	bres, err := Run(g, bfs, Config{Flow: Auto})
+	if err != nil {
+		t.Fatalf("BFS Run: %v", err)
+	}
+	if btrace := bres.PlanTrace(); !strings.HasPrefix(btrace[0], "compressed/") {
+		t.Fatalf("tracked run opened with %q, want a compressed/ first iteration", btrace[0])
+	}
+}
+
+// TestAdaptivePlannerSwitchesOffMispredictedCompressed drives the misfit
+// scenario: cached measurements say the compressed sweep is the bandwidth
+// winner, but the measured iteration contradicts them (decode-bound machine),
+// and the planner must abandon the compressed plan after that single
+// iteration. The cached seeding in the other direction (compressed chosen
+// over a grid the hand priors prefer) is the switch TO it.
+func TestAdaptivePlannerSwitchesOffMispredictedCompressed(t *testing.T) {
+	const totalEdges = 1 << 22
+	env := plannerEnv{numVertices: 1 << 16, totalEdges: totalEdges, alpha: 20, tracked: true}
+	gridPlan := StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Tracked: true, GridLevel: 16}
+	compPlan := StepPlan{Layout: graph.LayoutGridCompressed, Flow: Push, Sync: SyncPartitionFree, Tracked: true, GridLevel: 16}
+	p := newAdaptivePlanner(env, []planCandidate{
+		{plan: gridPlan, prior: priorGridPush, fullScan: true},
+		{plan: compPlan, prior: priorCompressedPush, fullScan: true},
+	}, map[string]float64{
+		"grid/16/push/no-lock":       8.0, // the raw sweep measured bandwidth-bound
+		"compressed/16/push/no-lock": 2.0, // decode bought back the bandwidth
+	})
+
+	f := graph.NewFrontier(1 << 16)
+	if plan := p.Next(0, f); plan.Layout != graph.LayoutGridCompressed {
+		t.Fatalf("seeded costs planned %v, want the compressed layout", plan)
+	}
+
+	// The measured iteration lands at 100 ns/edge — the cached 2.0 was a
+	// misfit for this machine. Latest-wins weighting must push the EWMA past
+	// the grid's 8.0 so the very next iteration switches layouts.
+	p.Observe(compPlan, IterationStats{
+		Duration:    time.Duration(totalEdges * 100),
+		ActiveEdges: -1,
+	})
+	if plan := p.Next(1, f); plan.Layout != graph.LayoutGrid {
+		t.Fatalf("planner kept %v after a mispredicted compressed iteration, want grid within one iteration", plan)
+	}
+}
+
+// TestStreamPlannerLabelsCompressedSource checks that a compressed source
+// streams under "compressed/<P>" plans (fixed and adaptive) so traces and
+// cost-cache keys never conflate the two storage formats.
+func TestStreamPlannerLabelsCompressedSource(t *testing.T) {
+	src := &fakeSource{n: 64, compressed: true}
+	pl := newStreamPlanner(src, Config{Flow: Push}, 1, DefaultPushPullAlpha, true)
+	plan := pl.Next(0, graph.NewFrontier(64))
+	if plan.Layout != graph.LayoutGridCompressed {
+		t.Fatalf("fixed stream plan over a compressed source has layout %v", plan.Layout)
+	}
+	if want := "compressed/1/push/no-lock"; !strings.HasPrefix(plan.String(), want) {
+		t.Fatalf("fixed stream plan labeled %q, want prefix %q", plan.String(), want)
+	}
+	pl = newStreamPlanner(src, Config{Flow: Auto}, 1, DefaultPushPullAlpha, true)
+	ap := pl.(*adaptivePlanner)
+	for _, c := range ap.candidates {
+		if c.plan.Layout != graph.LayoutGridCompressed {
+			t.Fatalf("adaptive stream candidate over a compressed source has layout %v", c.plan.Layout)
+		}
+	}
+	// An uncompressed source keeps the exact pre-v2 labels.
+	plain := &fakeSource{n: 64}
+	plan = newStreamPlanner(plain, Config{Flow: Push}, 1, DefaultPushPullAlpha, true).Next(0, graph.NewFrontier(64))
+	if want := "grid/1/push/no-lock"; !strings.HasPrefix(plan.String(), want) {
+		t.Fatalf("v1 stream plan labeled %q, want prefix %q", plan.String(), want)
+	}
+}
+
+// rmat16Compressed lazily builds the RMAT-scale-16 graph with the compressed
+// grid layout, shared by the compressed benchmarks.
+var (
+	benchCompOnce sync.Once
+	benchCompVal  *graph.Graph
+)
+
+func rmat16Compressed(b *testing.B) *graph.Graph {
+	b.Helper()
+	benchCompOnce.Do(func() {
+		g := gen.RMAT(gen.RMATOptions{Scale: 16, EdgeFactor: 16, Seed: 42})
+		if err := prep.BuildCompressedGrid(g, 0, prep.Options{Method: prep.RadixSort}); err != nil {
+			panic(err)
+		}
+		benchCompVal = g
+	})
+	return benchCompVal
+}
+
+// BenchmarkPageRankCompressedIterRMAT16 measures one steady-state PageRank
+// iteration over the in-memory compressed grid. allocs/op must stay ~0: the
+// per-worker decode scratch is allocated once on the first iteration and
+// reused for the rest of the run.
+func BenchmarkPageRankCompressedIterRMAT16(b *testing.B) {
+	g := rmat16Compressed(b)
+	cfg := Config{Layout: graph.LayoutGridCompressed, Flow: Push, Sync: SyncPartitionFree}
+	pr := algorithms.NewPageRank()
+	pr.Iterations = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(g, pr, cfg); err != nil {
+		b.Fatal(err)
+	}
+}

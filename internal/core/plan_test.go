@@ -300,15 +300,17 @@ func TestPushPullAlphaValidationGap(t *testing.T) {
 // fakeSource streams a single-cell in-memory "store": the minimal Source
 // whose frontier evolution can be scripted through the shape of its edges.
 type fakeSource struct {
-	n     int
-	edges []graph.Edge
-	stats SourceStats
+	n          int
+	edges      []graph.Edge
+	compressed bool
+	stats      SourceStats
 }
 
 func (s *fakeSource) NumVertices() int { return s.n }
 func (s *fakeSource) NumEdges() int64  { return int64(len(s.edges)) }
 func (s *fakeSource) GridP() int       { return 1 }
 func (s *fakeSource) Undirected() bool { return false }
+func (s *fakeSource) Compressed() bool { return s.compressed }
 
 func (s *fakeSource) OutDegrees() []uint32 {
 	deg := make([]uint32, s.n)

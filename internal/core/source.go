@@ -91,6 +91,11 @@ type Source interface {
 	// Undirected reports whether edges were mirrored into the store (the
 	// out-of-core counterpart of prep's Undirected doubling).
 	Undirected() bool
+	// Compressed reports whether cells are stored as compressed segments
+	// (decoded inside the source's fetch pipeline). It only affects how plans
+	// are labeled and costed — the visit contract of StreamCells is
+	// identical either way.
+	Compressed() bool
 	// OutDegrees returns the per-vertex out-degree table over the stored
 	// edges — the vertex metadata algorithms such as PageRank need at init.
 	// The returned slice is shared and must not be modified.
@@ -121,7 +126,7 @@ type degreePreset interface {
 // analogue of Run's grid path. Only the partition-free discipline is
 // supported: column ownership is what lets a streamed cell be applied
 // without synchronization, so cfg.Sync must be SyncPartitionFree and
-// cfg.Layout must be LayoutGrid (Flow == Auto relaxes both — the planner
+// cfg.Layout must be LayoutGrid or LayoutGridCompressed (Flow == Auto relaxes both — the planner
 // pins them itself). Flow may be Push, Pull, PushPull (the switch uses the
 // same active-vertex heuristic as the in-memory grid) or Auto (the
 // adaptive planner chooses direction with measured-cost feedback). Vertex
@@ -129,8 +134,8 @@ type degreePreset interface {
 // data never exceeds the source's buffer budget.
 func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	if cfg.Flow != Auto {
-		if cfg.Layout != graph.LayoutGrid {
-			return nil, fmt.Errorf("core: streamed execution runs over grid cells; layout must be grid, not %v", cfg.Layout)
+		if cfg.Layout != graph.LayoutGrid && cfg.Layout != graph.LayoutGridCompressed {
+			return nil, fmt.Errorf("core: streamed execution runs over grid cells; layout must be grid or compressed, not %v", cfg.Layout)
 		}
 		if cfg.Sync != SyncPartitionFree {
 			return nil, fmt.Errorf("core: streamed execution relies on column ownership and supports only sync=no-lock, not %v", cfg.Sync)

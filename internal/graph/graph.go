@@ -123,6 +123,10 @@ const (
 	LayoutAdjacencySorted
 	// LayoutGrid partitions edges into a 2-D grid of cells (GridGraph).
 	LayoutGrid
+	// LayoutGridCompressed is the grid with delta+varint-encoded cells
+	// (CompressedGrid): the same cell structure and visit order, a fraction
+	// of the bytes per sweep, a per-cell decode on the way in.
+	LayoutGridCompressed
 )
 
 // String returns the short name used in benchmark tables.
@@ -136,6 +140,8 @@ func (l Layout) String() string {
 		return "adjacency-sorted"
 	case LayoutGrid:
 		return "grid"
+	case LayoutGridCompressed:
+		return "compressed"
 	default:
 		return fmt.Sprintf("Layout(%d)", int(l))
 	}
@@ -153,6 +159,8 @@ type Graph struct {
 	In *Adjacency
 	// Grid is the grid layout (nil until built).
 	Grid *Grid
+	// Compressed is the compressed grid layout (nil until built).
+	Compressed *CompressedGrid
 	// Directed records whether the dataset is directed. Undirected datasets
 	// store each edge once in the edge array; adjacency lists double them.
 	Directed bool

@@ -62,6 +62,57 @@ func BenchmarkStreamedPageRankIter(b *testing.B) {
 	}
 }
 
+// benchStoreV2 builds a compressed RMAT store once per benchmark run.
+func benchStoreV2(b *testing.B, scale int) *Store {
+	b.Helper()
+	g := gen.RMAT(gen.RMATOptions{Scale: scale, EdgeFactor: 16, Seed: 42})
+	path := filepath.Join(b.TempDir(), "bench.egs2")
+	if _, err := BuildCompressedStoreFromGraph(path, g, 0, false); err != nil {
+		b.Fatalf("BuildCompressedStoreFromGraph: %v", err)
+	}
+	s, err := Open(path)
+	if err != nil {
+		b.Fatalf("Open: %v", err)
+	}
+	b.Cleanup(func() { s.Close() })
+	return s
+}
+
+// BenchmarkStreamedV2PageRankIter is BenchmarkStreamedPageRankIter over a
+// compressed (version-2) store: the same steady-state zero-allocation
+// contract, with per-cell varint decode running inside the fetch pipeline.
+func BenchmarkStreamedV2PageRankIter(b *testing.B) {
+	s := benchStoreV2(b, 16)
+	cfg := core.Config{
+		Layout: graph.LayoutGrid, Flow: core.Push, Sync: core.SyncPartitionFree,
+		MemoryBudget: 32 << 20,
+	}
+	pr := algorithms.NewPageRank()
+	pr.Iterations = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := core.RunStreamed(s, pr, cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkStreamV2Pass measures one raw compressed pass: read plus decode,
+// the bandwidth-for-CPU trade in isolation.
+func BenchmarkStreamV2Pass(b *testing.B) {
+	s := benchStoreV2(b, 16)
+	opt := core.StreamOptions{MemoryBudget: 32 << 20}
+	var sink int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.StreamCells(opt, func(_ int, edges []graph.Edge) {
+			sink += len(edges)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+}
+
 // BenchmarkStreamPass measures one raw streamed pass (no algorithm): the
 // ceiling set by the prefetch pipeline itself.
 func BenchmarkStreamPass(b *testing.B) {

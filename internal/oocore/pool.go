@@ -82,6 +82,13 @@ type streamPool struct {
 	// fit the ceiling by construction, whatever depth carves them up.
 	depthCap   int
 	arenaEdges int
+	// rawPerEdge is the worst-case on-disk bytes one buffered edge needs:
+	// a 12-byte record for raw stores, MaxEncodedEdgeBytes (plus 4 weight
+	// bytes when a weight plane exists) for compressed ones.
+	// residentPerEdge adds the decoded form — the per-edge resident cost
+	// the arenas are sized by and the accounting charges.
+	rawPerEdge      int
+	residentPerEdge int64
 	// Column partitions and largest coalesced reads, one per pass worker
 	// count in [1, workers]: a pass may run on fewer workers than the pool
 	// was built for (the planner's bandwidth-saturation response), and the
@@ -153,29 +160,45 @@ func (s *Store) buildPool(workers int, budgetCap int64) *streamPool {
 		boundsFor[w] = partitionColumns(s.colEdges, w)
 		maxSegFor[w] = maxRowSegmentEdges(s.cellIndex, s.header.P, boundsFor[w])
 	}
+	rawPerEdge := storage.EdgeBytes
+	if s.Compressed() {
+		rawPerEdge = graph.MaxEncodedEdgeBytes
+		if s.header.Weighted {
+			rawPerEdge += 4
+		}
+	}
+	residentPerEdge := int64(rawPerEdge + decodedEdgeBytes)
 	depthCap := core.StreamDepthCap(workers, budgetCap)
 	maxSeg := maxSegFor[workers]
-	arenaEdges := int(budgetCap / (int64(workers) * residentEdgeBytes))
+	arenaEdges := int(budgetCap / (int64(workers) * residentPerEdge))
 	if maxSeg > 0 && arenaEdges > maxSeg*depthCap {
 		arenaEdges = maxSeg * depthCap
 	}
 	if arenaEdges < depthCap {
 		arenaEdges = depthCap // one edge per slot, degenerate but safe
 	}
+	// Compressed cells decode whole (a payload cannot be split mid-varint
+	// across slices), so every slot must fit the largest cell even when the
+	// budget asks for less.
+	if min := s.maxCellEdges * depthCap; s.Compressed() && arenaEdges < min {
+		arenaEdges = min
+	}
 
 	p := &streamPool{
-		store:      s,
-		workers:    workers,
-		cap:        budgetCap,
-		depthCap:   depthCap,
-		arenaEdges: arenaEdges,
-		boundsFor:  boundsFor,
-		maxSegFor:  maxSegFor,
-		groups:     make([]group, workers),
+		store:           s,
+		workers:         workers,
+		cap:             budgetCap,
+		depthCap:        depthCap,
+		arenaEdges:      arenaEdges,
+		rawPerEdge:      rawPerEdge,
+		residentPerEdge: residentPerEdge,
+		boundsFor:       boundsFor,
+		maxSegFor:       maxSegFor,
+		groups:          make([]group, workers),
 	}
 	for i := range p.groups {
 		g := &p.groups[i]
-		g.rawArena = make([]byte, arenaEdges*storage.EdgeBytes)
+		g.rawArena = make([]byte, arenaEdges*rawPerEdge)
 		g.edgeArena = make([]graph.Edge, arenaEdges)
 		g.slots = make([]slot, depthCap)
 		g.req = make(chan passReq)
@@ -232,12 +255,18 @@ func (p *streamPool) beginPass(opt core.StreamOptions, visit func(worker int, ed
 	if budget <= 0 {
 		budget = p.cap
 	}
-	bufEdges := int(budget / (int64(workers) * int64(depth) * residentEdgeBytes))
+	bufEdges := int(budget / (int64(workers) * int64(depth) * p.residentPerEdge))
 	if share := p.arenaEdges / depth; bufEdges > share {
 		bufEdges = share
 	}
 	if maxSeg := p.maxSegFor[workers]; maxSeg > 0 && bufEdges > maxSeg {
 		bufEdges = maxSeg
+	}
+	// Whole-cell decode granularity: a compressed slot must fit the largest
+	// cell. The arena always can (buildPool sized it to maxCellEdges slots
+	// at full depth), so this raises only the budget-derived figure.
+	if p.store.Compressed() && bufEdges < p.store.maxCellEdges {
+		bufEdges = p.store.maxCellEdges
 	}
 	if bufEdges < 1 {
 		bufEdges = 1
@@ -257,7 +286,7 @@ func (p *streamPool) runGroup(gi int) {
 	g := &p.groups[gi]
 	s := p.store
 
-	resident := int64(p.depth) * int64(p.bufEdges) * residentEdgeBytes
+	resident := int64(p.depth) * int64(p.bufEdges) * p.residentPerEdge
 	s.stats.addResident(resident)
 	defer s.stats.addResident(-resident)
 
@@ -282,7 +311,11 @@ func (p *streamPool) runGroup(gi int) {
 // or store close).
 func (p *streamPool) fetchLoop(g *group) {
 	for req := range g.req {
-		p.fetchPass(g, req)
+		if p.store.Compressed() {
+			p.fetchCompressed(g, req)
+		} else {
+			p.fetchPass(g, req)
+		}
 	}
 }
 
@@ -348,6 +381,96 @@ pass:
 	// Reclaim every slot still with the consumer so the next pass starts
 	// with a clean ring (conservation: depth slots are either on the free
 	// stack or will come back through freed).
+	for out := req.depth - len(free); out > 0; out-- {
+		<-g.freed
+	}
+}
+
+// fetchCompressed is fetchPass for version-2 stores. Compressed payloads
+// cannot be split mid-cell, so instead of budget-bounded slices the fetcher
+// packs runs of consecutive whole cells along each owned row — as many as
+// fit the slot's edge scratch and raw bytes — issues one coalesced payload
+// read (plus one contiguous weight-plane read when weighted), CRC-verifies
+// each cell and decodes it into the slot's edge scratch. Row-ascending
+// whole-cell order per column is exactly the raw path's visit order, so
+// streamed results stay bit-identical. Decode time is charged to ioTime: to
+// the planner it is part of what a compressed byte costs to turn into edges.
+func (p *streamPool) fetchCompressed(g *group, req passReq) {
+	s := p.store
+	gp := s.header.P
+	free := g.free[:0]
+	for i := req.depth - 1; i >= 0; i-- {
+		free = append(free, i)
+	}
+	for i := 0; i < req.depth; i++ {
+		base := i * req.bufEdges
+		g.slots[i].raw = g.rawArena[base*p.rawPerEdge : (base+req.bufEdges)*p.rawPerEdge]
+		g.slots[i].edges = g.edgeArena[base : base+req.bufEdges]
+	}
+	rawCap := req.bufEdges * p.rawPerEdge
+	weighted := s.weightOff > 0
+
+pass:
+	for row := 0; row < gp; row++ {
+		cell := row*gp + req.colLo
+		rowEnd := row*gp + req.colHi
+		for cell < rowEnd {
+			if p.abort.flag.Load() {
+				break pass
+			}
+			// Pack consecutive whole cells into one slot. The first cell
+			// always fits: bufEdges >= maxCellEdges, and a validated cell's
+			// payload is at most MaxEncodedEdgeBytes per edge, which is how
+			// the slot's raw bytes are provisioned.
+			first := cell
+			n := 0
+			for cell < rowEnd {
+				ce := int(s.cellIndex[cell+1] - s.cellIndex[cell])
+				total := int(s.cellOff[cell+1] - s.cellOff[first])
+				if weighted {
+					total += 4 * (n + ce)
+				}
+				if cell > first && (n+ce > req.bufEdges || total > rawCap) {
+					break
+				}
+				n += ce
+				cell++
+			}
+			if n == 0 {
+				continue
+			}
+			payBytes := int(s.cellOff[cell] - s.cellOff[first])
+			var idx int
+			if len(free) > 0 {
+				idx = free[len(free)-1]
+				free = free[:len(free)-1]
+			} else {
+				idx = <-g.freed
+			}
+			sl := &g.slots[idx]
+			sl.n = n
+			t0 := time.Now()
+			err := s.readRawAt(sl.raw[:payBytes], s.dataOff+int64(s.cellOff[first]))
+			if err == nil && weighted {
+				err = s.readRawAt(sl.raw[payBytes:payBytes+4*n], s.weightOff+int64(s.cellIndex[first])*4)
+			}
+			if err == nil {
+				raw := sl.raw[:payBytes]
+				if weighted {
+					raw = sl.raw[:payBytes+4*n]
+				}
+				err = s.decodeCompressedRun(first, cell, raw, sl.edges[:n])
+			}
+			s.stats.ioTimeNanos.Add(int64(time.Since(t0)))
+			if err != nil {
+				p.abort.set(err)
+				free = append(free, idx)
+				break pass
+			}
+			g.filled <- idx
+		}
+	}
+	g.filled <- -1
 	for out := req.depth - len(free); out > 0; out-- {
 		<-g.freed
 	}

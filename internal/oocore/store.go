@@ -36,6 +36,15 @@ type Store struct {
 	colEdges  []uint64 // per-column edge totals (for worker balancing)
 	dataOff   int64
 
+	// Version-2 (compressed) stores only: per-cell payload byte offsets
+	// (P*P+1), per-cell payload CRCs (P*P), the file offset of the weight
+	// plane (0 when unweighted), and the largest single-cell edge count —
+	// the whole-cell decode granularity the streaming buffers must fit.
+	cellOff      []uint64
+	cellCRC      []uint32
+	weightOff    int64
+	maxCellEdges int
+
 	// Virtual device model: when dev has bandwidth, reads account (and with
 	// pace also sleep) N/bandwidth seconds of device time on a shared
 	// virtual clock, reproducing the paper's SSD/HDD experiments without
@@ -135,6 +144,18 @@ func NewStore(backend Backend, size int64) (*Store, error) {
 		s.degrees[i] = binary.LittleEndian.Uint32(meta[off:])
 		off += 4
 	}
+	if h.Version >= FormatVersionCompressed {
+		s.cellOff = make([]uint64, numCells+1)
+		for i := range s.cellOff {
+			s.cellOff[i] = binary.LittleEndian.Uint64(meta[off:])
+			off += 8
+		}
+		s.cellCRC = make([]uint32, numCells)
+		for i := range s.cellCRC {
+			s.cellCRC[i] = binary.LittleEndian.Uint32(meta[off:])
+			off += 4
+		}
+	}
 
 	// Structural validation: monotone index covering exactly NumEdges, and
 	// a file large enough to hold every promised record.
@@ -147,7 +168,38 @@ func NewStore(backend Backend, size int64) (*Store, error) {
 		return nil, fmt.Errorf("oocore: cell index covers %d edges, header promises %d",
 			s.cellIndex[numCells], h.NumEdges)
 	}
-	if want := s.dataOff + h.NumEdges*storage.EdgeBytes; size < want {
+	if s.cellOff != nil {
+		// Compressed stores: every cell's payload must be consistent with
+		// its decoded count — between 2 bytes per edge (two one-byte
+		// varints) and MaxEncodedEdgeBytes — so buffer arithmetic sized
+		// from the metadata can never be overrun by the data area.
+		if s.cellOff[0] != 0 {
+			return nil, fmt.Errorf("oocore: cell payload offsets start at %d, want 0", s.cellOff[0])
+		}
+		for c := 0; c < numCells; c++ {
+			if s.cellOff[c] > s.cellOff[c+1] {
+				return nil, fmt.Errorf("oocore: cell payload offsets not monotone at cell %d", c)
+			}
+			n := s.cellIndex[c+1] - s.cellIndex[c]
+			bytes := s.cellOff[c+1] - s.cellOff[c]
+			if bytes < 2*n || bytes > n*graph.MaxEncodedEdgeBytes {
+				return nil, fmt.Errorf("oocore: cell %d holds %d payload bytes for %d edges (want %d..%d)",
+					c, bytes, n, 2*n, n*graph.MaxEncodedEdgeBytes)
+			}
+			if int(n) > s.maxCellEdges {
+				s.maxCellEdges = int(n)
+			}
+		}
+		want := s.dataOff + int64(s.cellOff[numCells])
+		if h.Weighted {
+			s.weightOff = want
+			want += h.NumEdges * 4
+		}
+		if size < want {
+			return nil, fmt.Errorf("oocore: store truncated: %d bytes, need %d (%d compressed payload bytes)",
+				size, want, s.cellOff[numCells])
+		}
+	} else if want := s.dataOff + h.NumEdges*storage.EdgeBytes; size < want {
 		return nil, fmt.Errorf("oocore: store truncated: %d bytes, need %d (%d edge records)",
 			size, want, h.NumEdges)
 	}
@@ -213,9 +265,32 @@ func (s *Store) GridP() int { return s.header.P }
 // Undirected implements core.Source.
 func (s *Store) Undirected() bool { return s.header.Undirected }
 
+// Compressed implements core.Source: version-2 stores hold compressed cell
+// segments, so their streamed plans are labeled and costed as "compressed/".
+func (s *Store) Compressed() bool { return s.header.Version >= FormatVersionCompressed }
+
 // OutDegrees implements core.Source. The slice is shared; callers must not
 // modify it.
 func (s *Store) OutDegrees() []uint32 { return s.degrees }
+
+// CellEdges returns the edge count of one cell (cells in row-major order).
+func (s *Store) CellEdges(cell int) int64 {
+	return int64(s.cellIndex[cell+1] - s.cellIndex[cell])
+}
+
+// CellStoredBytes returns the on-disk footprint of one cell's edge data:
+// the fixed-record segment for version-1 stores, the compressed payload
+// plus the cell's slice of the weight plane for version-2 stores.
+func (s *Store) CellStoredBytes(cell int) int64 {
+	if !s.Compressed() {
+		return s.CellEdges(cell) * storage.EdgeBytes
+	}
+	b := int64(s.cellOff[cell+1] - s.cellOff[cell])
+	if s.weightOff > 0 {
+		b += 4 * s.CellEdges(cell)
+	}
+	return b
+}
 
 // Stats implements core.Source.
 func (s *Store) Stats() core.SourceStats {
@@ -247,11 +322,85 @@ func (s *Store) ReadCell(row, col int, dst []graph.Edge) ([]graph.Edge, error) {
 	if n == 0 {
 		return dst, nil
 	}
+	if s.Compressed() {
+		payBytes := int(s.cellOff[idx+1] - s.cellOff[idx])
+		total := payBytes
+		if s.weightOff > 0 {
+			total += 4 * n
+		}
+		raw := make([]byte, total)
+		t0 := time.Now()
+		if err := s.readRawAt(raw[:payBytes], s.dataOff+int64(s.cellOff[idx])); err != nil {
+			return nil, err
+		}
+		if s.weightOff > 0 {
+			if err := s.readRawAt(raw[payBytes:], s.weightOff+int64(lo)*4); err != nil {
+				return nil, err
+			}
+		}
+		if err := s.decodeCompressedRun(idx, idx+1, raw, dst); err != nil {
+			return nil, err
+		}
+		s.stats.ioTimeNanos.Add(int64(time.Since(t0)))
+		return dst, nil
+	}
 	raw := make([]byte, n*storage.EdgeBytes)
 	if err := s.readSegment(raw, int64(lo), dst); err != nil {
 		return nil, err
 	}
 	return dst, nil
+}
+
+// readRawAt is one accounted backend read at an absolute file offset: it
+// fetches exactly len(buf) bytes, counts the read, and applies the virtual
+// device model. Decode-side accounting (ioTime) stays with the caller, which
+// knows where its decode ends.
+func (s *Store) readRawAt(buf []byte, off int64) error {
+	if _, err := readFullAt(s.backend, buf, off); err != nil {
+		return fmt.Errorf("oocore: read %d bytes at offset %d: %w", len(buf), off, err)
+	}
+	s.stats.reads.Add(1)
+	s.stats.bytesRead.Add(int64(len(buf)))
+	if s.dev.BandwidthMBps > 0 {
+		sim := s.dev.LoadTime(int64(len(buf)))
+		s.stats.simLoadNanos.Add(int64(sim))
+		if s.pace {
+			s.paceSleep(sim)
+		}
+	}
+	return nil
+}
+
+// decodeCompressedRun decodes cells [first, last) of a compressed store into
+// dst, whose length must equal the cells' total decoded edge count. raw must
+// hold the cells' concatenated payloads and — when the store is weighted —
+// the run's weight plane bytes (4 per edge) immediately after them. Every
+// cell's payload is CRC-verified before it is decoded, so a corrupt segment
+// fails here without any of its edges reaching a kernel.
+func (s *Store) decodeCompressedRun(first, last int, raw []byte, dst []graph.Edge) error {
+	base := s.cellOff[first]
+	eBase := s.cellIndex[first]
+	for c := first; c < last; c++ {
+		pay := raw[s.cellOff[c]-base : s.cellOff[c+1]-base]
+		if crc32.ChecksumIEEE(pay) != s.cellCRC[c] {
+			return fmt.Errorf("oocore: cell %d compressed payload checksum mismatch (corrupt store)", c)
+		}
+		n := int(s.cellIndex[c+1] - s.cellIndex[c])
+		lo := int(s.cellIndex[c] - eBase)
+		row, col := c/s.header.P, c%s.header.P
+		if err := graph.DecodeCell(pay, n,
+			graph.VertexID(row*s.header.RangeSize), graph.VertexID(col*s.header.RangeSize),
+			s.header.RangeSize, dst[lo:lo+n]); err != nil {
+			return fmt.Errorf("oocore: cell %d: %w", c, err)
+		}
+	}
+	if s.weightOff > 0 {
+		wraw := raw[s.cellOff[last]-base:]
+		for i := range dst {
+			dst[i].W = weightFromBits(binary.LittleEndian.Uint32(wraw[i*4:]))
+		}
+	}
+	return nil
 }
 
 // readSegment fetches the records [edgeOff, edgeOff+len(dst)) into raw and

@@ -168,6 +168,22 @@ func BuildGrid(g *graph.Graph, requestedP int, opt Options) error {
 	return nil
 }
 
+// BuildCompressedGrid builds the compressed grid layout (delta+varint cells,
+// see graph.CompressedGrid) and attaches it to g. The raw grid is the
+// natural intermediate — it is built first (with the same options) when not
+// already materialized, and left attached so an adaptive run can plan
+// between the two representations; callers that want the compressed layout
+// INSTEAD of the raw one drop g.Grid afterwards.
+func BuildCompressedGrid(g *graph.Graph, requestedP int, opt Options) error {
+	if g.Grid == nil {
+		if err := BuildGrid(g, requestedP, opt); err != nil {
+			return err
+		}
+	}
+	g.Compressed = graph.CompressGrid(g.Grid)
+	return nil
+}
+
 // edgeKey returns the sort key of an edge for the requested direction.
 func edgeKey(e graph.Edge, byDst bool) graph.VertexID {
 	if byDst {
