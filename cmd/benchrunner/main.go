@@ -18,6 +18,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"github.com/epfl-repro/everythinggraph/internal/bench"
@@ -120,6 +121,11 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("perf trajectory written to %s\n", *perfJSON)
+		host := fmt.Sprintf("host: %s, GOMAXPROCS=%d", runtime.Version(), runtime.GOMAXPROCS(0))
+		if cpu := bench.HostCPUModel(); cpu != "" {
+			host += ", cpu=" + cpu
+		}
+		fmt.Println(host)
 		return
 	}
 

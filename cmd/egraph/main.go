@@ -56,6 +56,8 @@ func main() {
 		prefetch  = flag.Int("prefetch", 0, "per-worker prefetch depth for -store runs (0 = 2); -flow auto adapts it per iteration from the measured I/O wait")
 		storeDev  = flag.String("store-device", "none", "virtual device pacing for -store runs: none | ssd | hdd")
 		costCache = flag.String("cost-cache", "", "JSON cost cache for -flow auto: seed the planner's cost model with this dataset's measured per-edge plan costs and append this run's measurements")
+		traceOut  = flag.String("trace", "", "write a Chrome/Perfetto trace-event JSON file of the run (iteration spans, planner decisions, fetch and stall events; open in chrome://tracing or ui.perfetto.dev)")
+		metricsO  = flag.String("metrics-out", "", "write the run's flat counters-and-histograms snapshot as JSON")
 		verbose   = flag.Bool("v", false, "print per-iteration statistics")
 	)
 	flag.Parse()
@@ -92,8 +94,13 @@ func main() {
 	graphKey := costcache.Key(*algorithm, datasetPath, *generate, *scale)
 	cache := loadCostPriors(*costCache, graphKey, &cfg)
 
+	if *traceOut != "" || *metricsO != "" {
+		cfg.Trace = everythinggraph.NewTraceRecorder(0)
+	}
+
 	if *storePath != "" {
 		res := runStore(*storePath, *algorithm, cfg, *storeDev, everythinggraph.VertexID(*source), *prIters, *verbose)
+		writeTraceOutputs(cfg.Trace, *traceOut, *metricsO)
 		saveCostMeasurements(cache, *costCache, graphKey, res.Run.PlanCosts)
 		return
 	}
@@ -126,7 +133,42 @@ func main() {
 	}
 	printIterations(res.Run.PerIteration, *verbose)
 	printAlgorithmSummary(alg)
+	writeTraceOutputs(cfg.Trace, *traceOut, *metricsO)
 	saveCostMeasurements(cache, *costCache, graphKey, res.Run.PlanCosts)
+}
+
+// writeTraceOutputs exports the run recorder: a Chrome trace-event file, a
+// flat metrics snapshot, or both.
+func writeTraceOutputs(rec *everythinggraph.TraceRecorder, tracePath, metricsPath string) {
+	if rec == nil {
+		return
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: wrote %d events to %s (%d dropped)\n", rec.Len(), tracePath, rec.Dropped())
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.Snapshot().WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics: wrote snapshot to %s\n", metricsPath)
+	}
 }
 
 // loadCostPriors opens the cost cache (when configured) and seeds the

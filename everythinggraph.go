@@ -41,6 +41,7 @@ import (
 	"github.com/epfl-repro/everythinggraph/internal/oocore"
 	"github.com/epfl-repro/everythinggraph/internal/prep"
 	"github.com/epfl-repro/everythinggraph/internal/storage"
+	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
 
 // Re-exported element types.
@@ -286,7 +287,31 @@ type Config struct {
 	// costs from an earlier run (see Result.Run.PlanCosts and
 	// internal/costcache); static flows reject it.
 	CostPriors map[string]float64
+	// Trace attaches a run recorder (see NewTraceRecorder): the engine,
+	// planners, scheduler and — on Store runs — the fetcher pipeline record
+	// iteration spans, planner decisions and I/O events into it, and
+	// Result.Run.Metrics is filled with the counters-and-histograms
+	// snapshot. nil (the default) disables tracing entirely. A recorder
+	// belongs to one run at a time; reusing it across consecutive runs
+	// appends to the same timeline.
+	Trace *TraceRecorder
 }
+
+// TraceRecorder is a run-scoped trace event recorder. Attach one via
+// Config.Trace, then export with WriteChromeTrace (a Chrome/Perfetto
+// trace-event file) or Snapshot (flat counters and histograms).
+type TraceRecorder = trace.Recorder
+
+// NewTraceRecorder returns a recorder with a ring buffer of the given event
+// capacity (rounded up to a power of two; <= 0 selects the default). When
+// the ring fills, the oldest events are dropped and counted.
+func NewTraceRecorder(capacity int) *TraceRecorder {
+	return trace.NewRecorder(capacity)
+}
+
+// MetricsSnapshot is the flat counters-and-histograms view of a traced run,
+// available as Result.Run.Metrics after a traced run completes.
+type MetricsSnapshot = metrics.Snapshot
 
 // Result reports one end-to-end run.
 type Result struct {
@@ -412,6 +437,7 @@ func (g *Graph) Run(alg Algorithm, cfg Config) (*Result, error) {
 		MaxIterations:   cfg.MaxIterations,
 		RecordFrontiers: cfg.RecordFrontiers,
 		CostPriors:      cfg.CostPriors,
+		Trace:           cfg.Trace,
 	}
 	res, err := core.Run(g.g, alg, engineCfg)
 	if err != nil {
@@ -540,6 +566,7 @@ func (st *Store) Run(alg Algorithm, cfg Config) (*Result, error) {
 		MemoryBudget:    cfg.MemoryBudget,
 		PrefetchDepth:   cfg.PrefetchDepth,
 		CostPriors:      cfg.CostPriors,
+		Trace:           cfg.Trace,
 	}
 	before := st.s.Stats()
 	res, err := core.RunStreamed(st.s, alg, engineCfg)

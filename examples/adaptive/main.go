@@ -49,9 +49,11 @@ func main() {
 	}
 
 	// The same traversal under the planner: one entry point, no technique
-	// knobs, per-iteration plans chosen online.
+	// knobs, per-iteration plans chosen online. A trace recorder rides
+	// along so the planner's reasoning can be inspected afterwards.
+	rec := everythinggraph.NewTraceRecorder(0)
 	autoBFS := everythinggraph.BFS(0)
-	autoRes, err := g.Run(autoBFS, everythinggraph.Config{Flow: everythinggraph.FlowAuto})
+	autoRes, err := g.Run(autoBFS, everythinggraph.Config{Flow: everythinggraph.FlowAuto, Trace: rec})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -69,6 +71,24 @@ func main() {
 		}
 	}
 	fmt.Println("  -> levels identical to every fixed configuration")
+
+	// The recorder kept every planner decision: the full candidate set
+	// each choice was made from, with the predicted (prior) and measured
+	// per-edge costs. Print one decision as an excerpt — the same data the
+	// Chrome trace export (egraph -trace) attaches to its decision events.
+	if decisions := rec.Decisions(); len(decisions) > 0 {
+		d := decisions[len(decisions)/2]
+		fmt.Printf("\nplanner decision at iteration %d (1 of %d recorded):\n", d.Iteration, len(decisions))
+		for _, c := range d.Candidates {
+			marker := " "
+			if c.Chosen {
+				marker = "*"
+			}
+			fmt.Printf("  %s %-34s predicted=%6.2f ns/edge  measured=%6.2f ns/edge\n",
+				marker, c.Plan, c.PredictedNsPerEdge, c.MeasuredNsPerEdge)
+		}
+		fmt.Println("  -> * marks the plan the engine executed that iteration")
+	}
 
 	// PageRank: dense algorithms are planned once and frozen, so the
 	// adaptive ranks are bit-identical to the plan's fixed configuration.

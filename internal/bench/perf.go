@@ -21,6 +21,7 @@ import (
 	"github.com/epfl-repro/everythinggraph/internal/metrics"
 	"github.com/epfl-repro/everythinggraph/internal/oocore"
 	"github.com/epfl-repro/everythinggraph/internal/prep"
+	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
 
 // This file implements the machine-readable perf trajectory: a fixed suite
@@ -51,12 +52,34 @@ type PerfCase struct {
 
 // PerfReport is the archived perf trajectory document.
 type PerfReport struct {
-	GoVersion  string     `json:"go_version"`
-	GOMAXPROCS int        `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUModel is the host CPU model string from /proc/cpuinfo (empty when
+	// unavailable), stamped so archived baselines say what hardware
+	// produced them.
+	CPUModel   string     `json:"cpu_model,omitempty"`
 	RMATScale  int        `json:"rmat_scale"`
 	EdgeFactor int        `json:"rmat_edge_factor"`
 	Timestamp  string     `json:"timestamp"`
 	Cases      []PerfCase `json:"cases"`
+}
+
+// HostCPUModel returns the host CPU model name parsed from /proc/cpuinfo,
+// or "" when the file is missing or has no "model name" line (non-Linux
+// hosts, stripped containers).
+func HostCPUModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			if _, v, ok := strings.Cut(name, ":"); ok {
+				return strings.TrimSpace(v)
+			}
+		}
+	}
+	return ""
 }
 
 // perfGraph builds the RMAT graph shared by the perf suite.
@@ -327,6 +350,7 @@ func RunPerf(scale Scale) (*PerfReport, error) {
 	report := &PerfReport{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   HostCPUModel(),
 		RMATScale:  rmatScale,
 		EdgeFactor: edgeFactor,
 		Timestamp:  time.Now().UTC().Format(time.RFC3339),
@@ -368,6 +392,23 @@ func RunPerf(scale Scale) (*PerfReport, error) {
 			pr.Iterations = b.N
 			b.ReportAllocs()
 			if _, err := core.Run(g, pr, pushAtomics); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"pagerank_rmat_traced_iter", func(b *testing.B) {
+			// The push_atomics_iter case with a run recorder attached: the
+			// enabled recording path (iteration spans into the preallocated
+			// ring) must preserve the zero-allocation steady-state
+			// contract. Recorder construction is excluded from the clock;
+			// first-occurrence label interning is not, and must amortize
+			// to 0 allocs/op.
+			pr := algorithms.NewPageRank()
+			pr.Iterations = b.N
+			cfg := pushAtomics
+			cfg.Trace = trace.NewRecorder(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := core.Run(g, pr, cfg); err != nil {
 				b.Fatal(err)
 			}
 		}},
@@ -559,6 +600,21 @@ func RunPerf(scale Scale) (*PerfReport, error) {
 			pr.Iterations = b.N
 			b.ReportAllocs()
 			if _, err := core.RunStreamed(storeV2, pr, streamCfg); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"pagerank_rmat_streamed_v2_traced_iter", func(b *testing.B) {
+			// The streamed_v2_iter case with a run recorder attached: fetch
+			// and stall spans from the fetcher pipeline plus iteration
+			// spans, all into the preallocated ring — compressed passes
+			// must stay allocation-free with recording enabled.
+			pr := algorithms.NewPageRank()
+			pr.Iterations = b.N
+			cfg := streamCfg
+			cfg.Trace = trace.NewRecorder(0)
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := core.RunStreamed(storeV2, pr, cfg); err != nil {
 				b.Fatal(err)
 			}
 		}},

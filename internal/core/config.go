@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/metrics"
+	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
 
 // Flow selects the direction of information propagation (Section 6).
@@ -161,6 +163,16 @@ type Config struct {
 	// the matching export and internal/costcache for the on-disk cache.
 	// Only Flow == Auto reads it; setting it on a static flow is rejected.
 	CostPriors map[string]float64
+	// Trace attaches a run-scoped trace recorder. When non-nil, the engine,
+	// the planners, the I/O controller and the out-of-core fetcher pipeline
+	// record iteration spans, planner decisions and fetch/stall spans into
+	// it, and Result.Metrics carries the counters+histograms snapshot. The
+	// recording path is allocation-free in the steady state; nil (the
+	// default) disables tracing at the cost of one pointer test per event
+	// site. A recorder belongs to one run at a time: reuse across
+	// consecutive runs appends to the same timeline, concurrent runs must
+	// each get their own.
+	Trace *trace.Recorder
 }
 
 // IterationStats describes one iteration of a run.
@@ -216,6 +228,11 @@ type Result struct {
 	// Config.CostPriors lets the next run start from measurements instead
 	// of the hand-ordered priors.
 	PlanCosts map[string]float64
+	// Metrics is the flat counters+histograms snapshot of the run, filled
+	// only when Config.Trace was set (nil otherwise). It is the expvar-style
+	// programmatic surface a serving layer can scrape: Metrics.Get,
+	// Metrics.Do and Metrics.String are all nil-safe.
+	Metrics *metrics.Snapshot
 }
 
 // PlanTrace returns the per-iteration plan labels of the run, in execution

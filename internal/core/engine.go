@@ -50,6 +50,15 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	frontier := alg.InitialFrontier(g)
 	res := &Result{Algorithm: alg.Name()}
 
+	rec := cfg.Trace
+	var labeler *planLabeler
+	var schedBefore sched.PoolCounters
+	if rec != nil {
+		rec.SetNumVertices(g.NumVertices())
+		labeler = newPlanLabeler(rec)
+		schedBefore = sched.DefaultCounters()
+	}
+
 	start := time.Now()
 	for iter := 0; ; iter++ {
 		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
@@ -82,6 +91,9 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 		stats.Duration = time.Since(iterStart)
 		res.PerIteration = append(res.PerIteration, stats)
 		res.Iterations++
+		if labeler != nil {
+			labeler.emitIteration(iterStart, stats)
+		}
 		pl.Observe(plan, stats)
 
 		converged := alg.AfterIteration(iter)
@@ -95,6 +107,9 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	res.AlgorithmTime = time.Since(start)
 	if ap, ok := pl.(*adaptivePlanner); ok {
 		res.PlanCosts = ap.measuredCosts()
+	}
+	if rec != nil {
+		finishRunTrace(rec, res, schedBefore, nil)
 	}
 	return res, nil
 }

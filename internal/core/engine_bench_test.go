@@ -8,6 +8,7 @@ import (
 	"github.com/epfl-repro/everythinggraph/internal/gen"
 	"github.com/epfl-repro/everythinggraph/internal/graph"
 	"github.com/epfl-repro/everythinggraph/internal/prep"
+	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
 
 // benchGraph lazily builds the RMAT-scale-16 benchmark graph (65536
@@ -51,6 +52,23 @@ func BenchmarkPageRankRMAT16(b *testing.B) {
 func BenchmarkPageRankIterRMAT16(b *testing.B) {
 	g := rmat16(b)
 	cfg := Config{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics}
+	pr := algorithms.NewPageRank()
+	pr.Iterations = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(g, pr, cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPageRankTracedIterRMAT16 is BenchmarkPageRankIterRMAT16 with a
+// run recorder attached: the enabled recording path — an iteration span per
+// engine iteration into the preallocated ring — must not break the
+// zero-allocation steady-state contract, and its ns/op overhead against the
+// untraced case bounds the per-iteration tracing cost.
+func BenchmarkPageRankTracedIterRMAT16(b *testing.B) {
+	g := rmat16(b)
+	cfg := Config{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics, Trace: trace.NewRecorder(0)}
 	pr := algorithms.NewPageRank()
 	pr.Iterations = b.N
 	b.ReportAllocs()

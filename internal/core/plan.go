@@ -5,6 +5,7 @@ import (
 
 	"github.com/epfl-repro/everythinggraph/internal/cachesim"
 	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
 
 // This file contains the per-iteration execution planner. The engine never
@@ -167,12 +168,22 @@ type fixedPlanner struct {
 	plan StepPlan // Flow holds the resolved static direction
 	flow Flow     // the configured flow (may be PushPull)
 	io   *ioPlanner
+
+	// Decision tracing: a static configuration has no candidate set to
+	// score, but the direction resolution of PushPull IS a per-iteration
+	// decision, so the recorder gets one event at iteration 0 and one per
+	// direction flip. Labels are interned at construction (indexed by
+	// direction) so Next stays allocation-free.
+	rec      *trace.Recorder
+	labels   [2]int32 // decision labels: [0] push-resolved, [1] pull
+	started  bool
+	lastFlow Flow
 }
 
 // newFixedPlanner builds the static planner. gridP pins the grid resolution
 // of grid plans (the materialized P, or the pyramid level Config.GridLevels
 // selects); it is 0 for non-grid layouts.
-func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMode, gridP int) *fixedPlanner {
+func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMode, gridP int, rec *trace.Recorder) *fixedPlanner {
 	resolved := flow
 	if flow == PushPull {
 		resolved = Push // per-iteration; overwritten by Next
@@ -185,14 +196,31 @@ func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMo
 	if layout != graph.LayoutGrid && layout != graph.LayoutGridCompressed {
 		gridP = 0
 	}
-	return &fixedPlanner{
+	p := &fixedPlanner{
 		env:  env,
 		plan: StepPlan{Layout: layout, Flow: resolved, Sync: sync, Tracked: env.tracked, GridLevel: gridP},
 		flow: flow,
+		rec:  rec,
 	}
+	if rec != nil {
+		for _, fl := range []Flow{Push, Pull} {
+			k := p.plan.key()
+			k.Flow = fl
+			p.labels[flowIdx(fl)] = rec.Intern(k.String())
+		}
+	}
+	return p
 }
 
-func (p *fixedPlanner) Next(_ int, f *graph.Frontier) StepPlan {
+// flowIdx indexes per-direction tables by resolved flow.
+func flowIdx(f Flow) int {
+	if f == Pull {
+		return 1
+	}
+	return 0
+}
+
+func (p *fixedPlanner) Next(iter int, f *graph.Frontier) StepPlan {
 	plan := p.plan
 	if p.flow == PushPull {
 		if p.env.overThreshold(f) {
@@ -200,6 +228,13 @@ func (p *fixedPlanner) Next(_ int, f *graph.Frontier) StepPlan {
 		} else {
 			plan.Flow = Push
 		}
+	}
+	if p.rec != nil && (!p.started || plan.Flow != p.lastFlow) {
+		p.started = true
+		p.lastFlow = plan.Flow
+		// frozen marks choices that cannot change for the rest of the run —
+		// everything about a static plan except PushPull's direction.
+		p.rec.Decision(iter, p.labels[flowIdx(plan.Flow)], 0, 0, true, p.flow != PushPull)
 	}
 	if p.io != nil {
 		plan.IO = p.io.current()
@@ -293,6 +328,9 @@ type ioPlanner struct {
 	sat         int
 	calm        int
 	last        ioLastAction
+	// rec receives one IOAdjust event per knob move (never per iteration:
+	// a settled controller is silent in the trace).
+	rec *trace.Recorder
 }
 
 // newIOPlanner resolves the configured knobs (applying defaults and clamps)
@@ -325,6 +363,7 @@ func newIOPlanner(cfg Config, workers int, adaptive bool) *ioPlanner {
 		depthFloor:  MinPrefetchDepth,
 		workerFloor: max(1, workers/ioWorkerFloorDiv),
 		workerCeil:  workers,
+		rec:         cfg.Trace,
 	}
 	// The floor must also keep slices non-degenerate at the shallowest
 	// pipeline: worker shedding only guarantees the budget CEILING feeds
@@ -391,6 +430,12 @@ func (p *ioPlanner) observe(stats IterationStats) {
 	// actually ran (cur is only mutated below, after the read).
 	eff := p.effectiveWorkers()
 	wait := float64(stats.IOWait) / (float64(stats.Duration) * float64(eff))
+	prev := p.cur
+	defer func() {
+		if p.rec != nil && p.cur != prev {
+			p.rec.IOAdjust(stats.Iteration, p.cur.PrefetchDepth, p.cur.MemoryBudget, p.effectiveWorkers(), wait)
+		}
+	}()
 	switch {
 	case wait >= ioRaiseWaitFraction:
 		p.calm = 0
@@ -592,14 +637,27 @@ type adaptivePlanner struct {
 	measured   []float64 // ns/edge EWMA per candidate; 0 = unmeasured
 	frozen     int       // dense algorithms: candidate locked at iteration 0; -1 while unset
 	io         *ioPlanner
+
+	// Decision tracing: candLabels holds one interned label per candidate
+	// (the plan key, matching PlanCosts), so emitting the scored candidate
+	// set is a loop of ring stores with no allocation.
+	rec        *trace.Recorder
+	candLabels []int32
 }
 
-func newAdaptivePlanner(env plannerEnv, candidates []planCandidate, priors map[string]float64) *adaptivePlanner {
+func newAdaptivePlanner(env plannerEnv, candidates []planCandidate, priors map[string]float64, rec *trace.Recorder) *adaptivePlanner {
 	p := &adaptivePlanner{
 		env:        env,
 		candidates: candidates,
 		measured:   make([]float64, len(candidates)),
 		frozen:     -1,
+		rec:        rec,
+	}
+	if rec != nil {
+		p.candLabels = make([]int32, len(candidates))
+		for i := range candidates {
+			p.candLabels[i] = rec.Intern(candidates[i].plan.key().String())
+		}
 	}
 	// Persisted measurements from a previous run seed the starting EWMA (so
 	// a tracked run's first cost comparison uses them) and the prior (so a
@@ -647,20 +705,37 @@ func (p *adaptivePlanner) measuredCosts() map[string]float64 {
 	return out
 }
 
-func (p *adaptivePlanner) Next(_ int, f *graph.Frontier) StepPlan {
+func (p *adaptivePlanner) Next(iter int, f *graph.Frontier) StepPlan {
 	var plan StepPlan
 	if !p.env.tracked {
 		if p.frozen < 0 {
 			p.frozen = p.cheapestPrior()
+			p.emitDecision(iter, p.frozen, true)
 		}
 		plan = p.candidates[p.frozen].plan
 	} else {
-		plan = p.candidates[p.cheapest(p.direction(f), f)].plan
+		best := p.cheapest(p.direction(f), f)
+		p.emitDecision(iter, best, false)
+		plan = p.candidates[best].plan
 	}
 	if p.io != nil {
 		plan.IO = p.io.current()
 	}
 	return plan
+}
+
+// emitDecision records the full scored candidate set of one planning step —
+// every alternative with its predicted (prior) and measured ns/edge, plus
+// which one won. A dense run emits once, at the freeze; tracked runs emit
+// every iteration, which is exactly the explainability trail the compressed
+// plan trace cannot carry.
+func (p *adaptivePlanner) emitDecision(iter, chosen int, frozen bool) {
+	if p.rec == nil {
+		return
+	}
+	for i := range p.candidates {
+		p.rec.Decision(iter, p.candLabels[i], p.candidates[i].prior, p.measured[i], i == chosen, frozen)
+	}
 }
 
 // cheapestPrior returns the candidate with the lowest prior per-edge cost —
@@ -828,14 +903,14 @@ func newPlanner(g *graph.Graph, cfg Config, r *runner, alpha int, workers int, t
 			env.activeOutEdges = nil
 			gridP = g.Compressed.P
 		}
-		return newFixedPlanner(env, cfg.Layout, cfg.Flow, cfg.Sync, gridP), nil
+		return newFixedPlanner(env, cfg.Layout, cfg.Flow, cfg.Sync, gridP, cfg.Trace), nil
 	}
 
 	candidates := autoCandidates(g, cfg, workers, tracked)
 	if len(candidates) == 0 {
 		return nil, fmt.Errorf("core: auto flow found no runnable layout (build adjacency lists, a grid, or supply edges)")
 	}
-	return newAdaptivePlanner(env, candidates, cfg.CostPriors), nil
+	return newAdaptivePlanner(env, candidates, cfg.CostPriors, cfg.Trace), nil
 }
 
 // pinnedGridP resolves Config.GridLevels for a static grid run: 0 pins the
@@ -994,7 +1069,7 @@ func newStreamPlanner(src Source, cfg Config, workers, alpha int, tracked bool) 
 		pushPrior, pullPrior = priorCompressedPush, priorCompressedPull
 	}
 	if cfg.Flow != Auto {
-		p := newFixedPlanner(env, layout, cfg.Flow, SyncPartitionFree, gridP)
+		p := newFixedPlanner(env, layout, cfg.Flow, SyncPartitionFree, gridP, cfg.Trace)
 		p.io = newIOPlanner(cfg, workers, false)
 		return p
 	}
@@ -1009,7 +1084,7 @@ func newStreamPlanner(src Source, cfg Config, workers, alpha int, tracked bool) 
 			prior:    pullPrior,
 			fullScan: true,
 		},
-	}, cfg.CostPriors)
+	}, cfg.CostPriors, cfg.Trace)
 	p.io = newIOPlanner(cfg, workers, true)
 	return p
 }

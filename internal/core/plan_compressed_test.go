@@ -247,7 +247,7 @@ func TestAdaptivePlannerSwitchesOffMispredictedCompressed(t *testing.T) {
 	}, map[string]float64{
 		"grid/16/push/no-lock":       8.0, // the raw sweep measured bandwidth-bound
 		"compressed/16/push/no-lock": 2.0, // decode bought back the bandwidth
-	})
+	}, nil)
 
 	f := graph.NewFrontier(1 << 16)
 	if plan := p.Next(0, f); plan.Layout != graph.LayoutGridCompressed {

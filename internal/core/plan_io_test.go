@@ -261,7 +261,7 @@ func TestStepPlanStringWithAndWithoutIO(t *testing.T) {
 func TestAdaptiveObserveMatchesPlanAcrossIOChanges(t *testing.T) {
 	env := plannerEnv{numVertices: 100, totalEdges: 1 << 20, alpha: 20, tracked: true}
 	plan := StepPlan{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree, Tracked: true}
-	p := newAdaptivePlanner(env, []planCandidate{{plan: plan, prior: priorGridPush, fullScan: true}}, nil)
+	p := newAdaptivePlanner(env, []planCandidate{{plan: plan, prior: priorGridPush, fullScan: true}}, nil, nil)
 	observed := plan
 	observed.IO = IOPlan{PrefetchDepth: 8, MemoryBudget: 1 << 20}
 	p.Observe(observed, IterationStats{Duration: time.Millisecond, ActiveEdges: -1})
@@ -283,7 +283,7 @@ func TestAdaptivePlannerSeedsAndRescalesCostPriors(t *testing.T) {
 	}
 
 	// Without priors a dense run freezes on the lower hand prior (push).
-	p := newAdaptivePlanner(env, candidates, nil)
+	p := newAdaptivePlanner(env, candidates, nil, nil)
 	if plan := p.Next(0, graph.NewFrontier(100)); plan.Flow != Push {
 		t.Fatalf("hand priors froze %v, want push", plan)
 	}
@@ -293,7 +293,7 @@ func TestAdaptivePlannerSeedsAndRescalesCostPriors(t *testing.T) {
 	p = newAdaptivePlanner(env, []planCandidate{
 		{plan: push, prior: priorGridPush, fullScan: true},
 		{plan: pull, prior: priorGridPull, fullScan: true},
-	}, map[string]float64{"grid/pull/no-lock": 5.0, "grid/push/no-lock": 20.0})
+	}, map[string]float64{"grid/pull/no-lock": 5.0, "grid/push/no-lock": 20.0}, nil)
 	if plan := p.Next(0, graph.NewFrontier(100)); plan.Flow != Pull {
 		t.Fatalf("cached measurements froze %v, want pull", plan)
 	}
@@ -310,7 +310,7 @@ func TestAdaptivePlannerSeedsAndRescalesCostPriors(t *testing.T) {
 	p = newAdaptivePlanner(env, []planCandidate{
 		{plan: push, prior: priorGridPush, fullScan: true},
 		{plan: pull, prior: priorGridPull, fullScan: true},
-	}, map[string]float64{"grid/push/no-lock": 5.0})
+	}, map[string]float64{"grid/push/no-lock": 5.0}, nil)
 	if plan := p.Next(0, graph.NewFrontier(100)); plan.Flow != Push {
 		t.Fatalf("single measurement flipped the hand ordering: froze %v", plan)
 	}

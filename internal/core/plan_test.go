@@ -60,7 +60,7 @@ func TestAdaptivePlannerScriptedDensity(t *testing.T) {
 			return 0
 		},
 	}
-	p := newAdaptivePlanner(env, adjacencyCandidates(true), nil)
+	p := newAdaptivePlanner(env, adjacencyCandidates(true), nil, nil)
 
 	steps := []struct {
 		count    int
@@ -102,7 +102,7 @@ func TestAdaptivePlannerAbandonsMispredictedPlan(t *testing.T) {
 	p := newAdaptivePlanner(env, []planCandidate{
 		{plan: adjPull, prior: priorAdjacencyPull, fullScan: true},
 		{plan: gridPull, prior: priorGridPull, fullScan: true},
-	}, nil)
+	}, nil, nil)
 	dense := scriptedFrontier(n, 400, -1) // density 0.4: always pull
 
 	if plan := p.Next(0, dense); plan != adjPull {
@@ -128,7 +128,7 @@ func TestAdaptivePlannerAbandonsMispredictedPlan(t *testing.T) {
 func TestAdaptivePlannerFreezesDensePlans(t *testing.T) {
 	const n, m = 1000, 16000
 	env := plannerEnv{numVertices: n, totalEdges: m, alpha: DefaultPushPullAlpha, tracked: false}
-	p := newAdaptivePlanner(env, adjacencyCandidates(false), nil)
+	p := newAdaptivePlanner(env, adjacencyCandidates(false), nil, nil)
 	full := scriptedFrontier(n, n, -1)
 
 	first := p.Next(0, full)

@@ -6,6 +6,7 @@ import (
 
 	"github.com/epfl-repro/everythinggraph/internal/graph"
 	"github.com/epfl-repro/everythinggraph/internal/sched"
+	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
 
 // This file is the engine's out-of-core entry point: a Source streams grid
@@ -38,6 +39,10 @@ type StreamOptions struct {
 	// rotation during this pass (0 selects DefaultPrefetchDepth; sources
 	// clamp to [MinPrefetchDepth, MaxPrefetchDepth]).
 	PrefetchDepth int
+	// Trace, when non-nil, receives fetch (read/decode) spans from the
+	// source's prefetch pipeline and stall spans from its compute workers
+	// for this pass. Sources without internal instrumentation may ignore it.
+	Trace *trace.Recorder
 }
 
 // SourceStats is the cumulative I/O accounting of a source. The engine
@@ -182,6 +187,17 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	}
 	pl := newStreamPlanner(src, cfg, streamWorkers(src, workers, budgetCap), alpha, !alg.Dense())
 
+	rec := cfg.Trace
+	var labeler *planLabeler
+	var schedBefore sched.PoolCounters
+	var ioStart SourceStats
+	if rec != nil {
+		rec.SetNumVertices(src.NumVertices())
+		labeler = newPlanLabeler(rec)
+		schedBefore = sched.DefaultCounters()
+		ioStart = src.Stats()
+	}
+
 	start := time.Now()
 	for iter := 0; ; iter++ {
 		if cfg.MaxIterations > 0 && iter >= cfg.MaxIterations {
@@ -213,6 +229,7 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 			MemoryBudget:    plan.IO.MemoryBudget,
 			MemoryBudgetCap: budgetCap,
 			PrefetchDepth:   plan.IO.PrefetchDepth,
+			Trace:           rec,
 		}
 
 		next, err := r.step(frontier, plan.Flow == Pull, opt)
@@ -228,6 +245,9 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 		}
 		res.PerIteration = append(res.PerIteration, stats)
 		res.Iterations++
+		if labeler != nil {
+			labeler.emitIteration(iterStart, stats)
+		}
 		pl.Observe(plan, stats)
 
 		converged := alg.AfterIteration(iter)
@@ -242,6 +262,10 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	res.IO = src.Stats()
 	if ap, ok := pl.(*adaptivePlanner); ok {
 		res.PlanCosts = ap.measuredCosts()
+	}
+	if rec != nil {
+		ioDiff := res.IO.Sub(ioStart)
+		finishRunTrace(rec, res, schedBefore, &ioDiff)
 	}
 	return res, nil
 }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/prep"
+	"github.com/epfl-repro/everythinggraph/internal/trace"
+)
+
+// chromeEvent mirrors the fields of the Chrome trace-event format this test
+// asserts on; unknown fields are ignored by encoding/json.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Ph   string                 `json:"ph"`
+	TID  int32                  `json:"tid"`
+	TS   float64                `json:"ts"`
+	Args map[string]interface{} `json:"args"`
+}
+
+type chromeFile struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// TestChromeTraceMatchesPlanTrace is the explainability acceptance test: on
+// an adaptive BFS run, the exported Chrome trace must tell the exact same
+// story as the engine's own records — one iteration span per iteration
+// whose names bit-match Result.PlanTrace(), plus at least one planner
+// decision event listing the scored candidate set the choice was made from.
+func TestChromeTraceMatchesPlanTrace(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 11, EdgeFactor: 8, Seed: 7})
+	if err := prep.BuildAdjacency(g, prep.InOut, prep.Options{Method: prep.RadixSort}); err != nil {
+		t.Fatal(err)
+	}
+
+	rec := trace.NewRecorder(0)
+	res, err := Run(g, algorithms.NewBFS(0), Config{Flow: Auto, Trace: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations == 0 {
+		t.Fatal("BFS did no iterations")
+	}
+
+	var buf bytes.Buffer
+	if err := rec.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var tf chromeFile
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+
+	// Iteration spans on the engine track, in timestamp order, must
+	// bit-match the engine's per-iteration plan trace.
+	var spanNames []string
+	lastTS := -1.0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" && ev.TID == int32(trace.TrackEngine) {
+			if ev.TS < lastTS {
+				t.Fatalf("iteration spans out of timestamp order at %q", ev.Name)
+			}
+			lastTS = ev.TS
+			spanNames = append(spanNames, ev.Name)
+		}
+	}
+	want := res.PlanTrace()
+	if len(spanNames) != len(want) {
+		t.Fatalf("trace has %d iteration spans, PlanTrace has %d entries", len(spanNames), len(want))
+	}
+	for i := range want {
+		if spanNames[i] != want[i] {
+			t.Fatalf("iteration %d: span name %q != PlanTrace entry %q", i, spanNames[i], want[i])
+		}
+	}
+
+	// At least one decision event must carry the full scored candidate set
+	// (the adaptive BFS candidate space has several plans, so any decision
+	// lists >= 2).
+	decisions := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Name != "plan decision" {
+			continue
+		}
+		decisions++
+		cands, ok := ev.Args["candidates"].([]interface{})
+		if !ok || len(cands) < 2 {
+			t.Fatalf("decision event candidates = %v, want a list of >= 2", ev.Args["candidates"])
+		}
+		for _, c := range cands {
+			m := c.(map[string]interface{})
+			if _, ok := m["plan"].(string); !ok {
+				t.Fatalf("candidate without plan label: %v", c)
+			}
+			if _, ok := m["predicted_ns_per_edge"]; !ok {
+				t.Fatalf("candidate without predicted cost: %v", c)
+			}
+		}
+	}
+	if decisions == 0 {
+		t.Fatal("trace has no planner decision events")
+	}
+
+	// The attached metrics snapshot must agree with the result.
+	if res.Metrics == nil {
+		t.Fatal("Result.Metrics not filled on a traced run")
+	}
+	if got, _ := res.Metrics.Get("engine.iterations"); got != int64(res.Iterations) {
+		t.Fatalf("engine.iterations counter = %d, want %d", got, res.Iterations)
+	}
+	if got, ok := res.Metrics.Get("trace.events_recorded"); !ok || got == 0 {
+		t.Fatal("trace.events_recorded counter is zero or missing")
+	}
+}
+
+// TestUntracedRunHasNoMetrics pins the disabled path: without a recorder the
+// engine must not fabricate a snapshot.
+func TestUntracedRunHasNoMetrics(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 8, EdgeFactor: 4, Seed: 7})
+	if err := prep.BuildAdjacency(g, prep.InOut, prep.Options{Method: prep.RadixSort}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, algorithms.NewBFS(0), Config{Flow: Auto})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics != nil {
+		t.Fatal("untraced run filled Result.Metrics")
+	}
+}
+
+// TestTracedRunsShareRecorderSequentially pins the documented reuse
+// contract: two consecutive runs on one recorder append to the same
+// timeline, and counters accumulate.
+func TestTracedRunsShareRecorderSequentially(t *testing.T) {
+	g := gen.RMAT(gen.RMATOptions{Scale: 8, EdgeFactor: 4, Seed: 7})
+	if err := prep.BuildAdjacency(g, prep.InOut, prep.Options{Method: prep.RadixSort}); err != nil {
+		t.Fatal(err)
+	}
+	rec := trace.NewRecorder(0)
+	cfg := Config{Flow: Push, Sync: SyncAtomics, Trace: rec}
+	res1, err := Run(g, algorithms.NewBFS(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(g, algorithms.NewBFS(0), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(res1.Iterations + res2.Iterations)
+	if got, _ := res2.Metrics.Get("engine.iterations"); got != want {
+		t.Fatalf("accumulated engine.iterations = %d, want %d", got, want)
+	}
+}

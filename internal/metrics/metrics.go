@@ -196,8 +196,14 @@ func (t *Table) SortRows() {
 // compact form so adaptive runs can show what the planner chose without one
 // line per iteration.
 func CompressPlanTrace(steps []string) string {
+	// Fast paths for the run-length boundaries: a run that never iterated
+	// (nil or empty trace) compresses to the empty string, and a single
+	// iteration is its own label with no "xN" suffix.
 	if len(steps) == 0 {
 		return ""
+	}
+	if len(steps) == 1 {
+		return steps[0]
 	}
 	var sb strings.Builder
 	for i := 0; i < len(steps); {

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -120,8 +121,21 @@ func TestCompressPlanTrace(t *testing.T) {
 		want string
 	}{
 		{nil, ""},
+		{[]string{}, ""},
 		{[]string{"a/push/atomics"}, "a/push/atomics"},
 		{[]string{"a/push/atomics", "a/push/atomics"}, "a/push/atomics x2"},
+		// All-identical trace collapses to a single run with a multi-digit
+		// count (dense algorithms freeze one plan for the whole run).
+		{
+			[]string{"a", "a", "a", "a", "a", "a", "a", "a", "a", "a", "a", "a"},
+			"a x12",
+		},
+		// Alternating plans never form a run.
+		{[]string{"a", "b", "a", "b"}, "a -> b -> a -> b"},
+		// A run ending exactly at the trace boundary keeps its count.
+		{[]string{"a", "b", "b", "b"}, "a -> b x3"},
+		// Empty-string labels are still labels: runs compress by equality.
+		{[]string{"", "", "x"}, " x2 -> x"},
 		{
 			[]string{"a/push/atomics", "a/pull/no-lock", "a/pull/no-lock", "a/push/atomics"},
 			"a/push/atomics -> a/pull/no-lock x2 -> a/push/atomics",
@@ -137,5 +151,59 @@ func TestCompressPlanTrace(t *testing.T) {
 		if got := CompressPlanTrace(c.in); got != c.want {
 			t.Fatalf("CompressPlanTrace(%v) = %q, want %q", c.in, got, c.want)
 		}
+	}
+}
+
+func TestSnapshotAccessors(t *testing.T) {
+	s := NewSnapshot()
+	s.Counters["engine.iterations"] = 7
+	s.Counters["sched.parks"] = 3
+	if v, ok := s.Get("engine.iterations"); !ok || v != 7 {
+		t.Fatalf("Get = %d, %v", v, ok)
+	}
+	if _, ok := s.Get("missing"); ok {
+		t.Fatal("Get found a missing counter")
+	}
+	var names []string
+	s.Do(func(name string, value int64) { names = append(names, name) })
+	if len(names) != 2 || names[0] != "engine.iterations" || names[1] != "sched.parks" {
+		t.Fatalf("Do order = %v", names)
+	}
+
+	// Nil snapshots behave like the disabled recorder that produces them.
+	var nilSnap *Snapshot
+	if _, ok := nilSnap.Get("x"); ok {
+		t.Fatal("nil Get found a counter")
+	}
+	nilSnap.Do(func(string, int64) { t.Fatal("nil Do called back") })
+	if nilSnap.String() != "null" {
+		t.Fatalf("nil String = %q", nilSnap.String())
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	s := NewSnapshot()
+	s.Counters["oocore.fetched_bytes"] = 4096
+	s.Histograms["engine.iteration_ns"] = Histogram{
+		Count: 2, SumNs: 3000, MinNs: 1000, MaxNs: 2000,
+		Buckets: []HistogramBucket{{UpperNs: 1024, Count: 1}, {UpperNs: 2048, Count: 1}},
+	}
+	var buf strings.Builder
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(buf.String()), &back); err != nil {
+		t.Fatalf("WriteJSON output does not parse: %v", err)
+	}
+	if back.Counters["oocore.fetched_bytes"] != 4096 {
+		t.Fatalf("counter lost in round trip: %+v", back.Counters)
+	}
+	h := back.Histograms["engine.iteration_ns"]
+	if h.Count != 2 || h.MeanNs() != 1500 || len(h.Buckets) != 2 {
+		t.Fatalf("histogram lost in round trip: %+v", h)
+	}
+	if !strings.Contains(s.String(), `"oocore.fetched_bytes":4096`) {
+		t.Fatalf("String() missing counter: %s", s.String())
 	}
 }

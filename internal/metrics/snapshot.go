@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// HistogramBucket is one power-of-two bucket of a Histogram: Count samples
+// had a duration d with UpperNs/2 <= d < UpperNs (the first bucket holds
+// d == 0). Empty buckets are omitted.
+type HistogramBucket struct {
+	UpperNs int64 `json:"upper_ns"`
+	Count   int64 `json:"count"`
+}
+
+// Histogram is the exported form of an online duration histogram: total
+// count/sum plus min/max and the non-empty power-of-two buckets, all in
+// nanoseconds.
+type Histogram struct {
+	Count   int64             `json:"count"`
+	SumNs   int64             `json:"sum_ns"`
+	MinNs   int64             `json:"min_ns"`
+	MaxNs   int64             `json:"max_ns"`
+	Buckets []HistogramBucket `json:"buckets,omitempty"`
+}
+
+// MeanNs returns the mean sample duration in nanoseconds (0 when empty).
+func (h Histogram) MeanNs() int64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.SumNs / h.Count
+}
+
+// Snapshot is the flat counters+histograms view of one run — the scrape
+// format a serving daemon can expose, and what `egraph -metrics-out` writes.
+// Counter names are dotted "<subsystem>.<metric>" strings (engine.*,
+// planner.*, sched.*, oocore.*, trace.*); see the README's Observability
+// section for the schema.
+type Snapshot struct {
+	Counters   map[string]int64     `json:"counters"`
+	Histograms map[string]Histogram `json:"histograms,omitempty"`
+}
+
+// NewSnapshot returns an empty snapshot ready to be filled.
+func NewSnapshot() *Snapshot {
+	return &Snapshot{
+		Counters:   make(map[string]int64),
+		Histograms: make(map[string]Histogram),
+	}
+}
+
+// Get returns the named counter and whether it exists — the expvar-style
+// programmatic accessor (nil-safe, like the recorder it comes from).
+func (s *Snapshot) Get(name string) (int64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	v, ok := s.Counters[name]
+	return v, ok
+}
+
+// Do calls f for every counter in sorted name order, mirroring expvar.Do so
+// the future daemon can bridge a snapshot into any metrics endpoint.
+func (s *Snapshot) Do(f func(name string, value int64)) {
+	if s == nil {
+		return
+	}
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f(name, s.Counters[name])
+	}
+}
+
+// String renders the snapshot as compact JSON (expvar-style).
+func (s *Snapshot) String() string {
+	if s == nil {
+		return "null"
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(s); err != nil {
+		return fmt.Sprintf("{\"error\":%q}", err.Error())
+	}
+	return string(bytes.TrimRight(buf.Bytes(), "\n"))
+}
+
+// WriteJSON writes the snapshot as indented JSON, the on-disk form of
+// `egraph -metrics-out`.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

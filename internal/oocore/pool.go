@@ -7,6 +7,7 @@ import (
 	"github.com/epfl-repro/everythinggraph/internal/graph"
 	"github.com/epfl-repro/everythinggraph/internal/sched"
 	"github.com/epfl-repro/everythinggraph/internal/storage"
+	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
 
 // This file is the streamed executor's recycled machinery. A streamed pass
@@ -34,7 +35,16 @@ type passReq struct {
 	colLo, colHi int
 	depth        int
 	bufEdges     int
+	// rec receives this pass's fetch (read/decode) spans; nil when the run
+	// is untraced. It travels in the request — not read off the pool — so a
+	// fetcher still draining never races the next pass's beginPass.
+	rec *trace.Recorder
 }
+
+// stallSpanMin is the shortest prefetch stall recorded as a trace span:
+// sub-10µs waits are pipeline jitter, and recording each of them would
+// drown the trace in noise the IOWait counters already sum precisely.
+const stallSpanMin = 10 * time.Microsecond
 
 // slot is one prefetch buffer of a group's ring. raw and edges are views
 // into the group's arenas, re-carved by the fetcher at every pass so that
@@ -50,6 +60,9 @@ type slot struct {
 // fetcher, and the index channels the fetcher and the compute worker
 // exchange slots over.
 type group struct {
+	// id is the group's index: its compute worker records on trace track
+	// TrackWorkerBase+id, its fetcher on TrackFetcherBase+id.
+	id int32
 	// rawArena and edgeArena back every slot of the ring; their capacity is
 	// the group's share of the pool's budget ceiling.
 	rawArena  []byte
@@ -105,6 +118,7 @@ type streamPool struct {
 	depth       int
 	bufEdges    int
 	visit       func(worker int, edges []graph.Edge)
+	rec         *trace.Recorder
 	abort       streamAbort
 }
 
@@ -198,6 +212,7 @@ func (s *Store) buildPool(workers int, budgetCap int64) *streamPool {
 	}
 	for i := range p.groups {
 		g := &p.groups[i]
+		g.id = int32(i)
 		g.rawArena = make([]byte, arenaEdges*rawPerEdge)
 		g.edgeArena = make([]graph.Edge, arenaEdges)
 		g.slots = make([]slot, depthCap)
@@ -273,6 +288,7 @@ func (p *streamPool) beginPass(opt core.StreamOptions, visit func(worker int, ed
 	}
 	p.passWorkers, p.passBounds = workers, p.boundsFor[workers]
 	p.depth, p.bufEdges, p.visit = depth, bufEdges, visit
+	p.rec = opt.Trace
 	p.abort.reset()
 }
 
@@ -290,11 +306,15 @@ func (p *streamPool) runGroup(gi int) {
 	s.stats.addResident(resident)
 	defer s.stats.addResident(-resident)
 
-	g.req <- passReq{colLo: p.passBounds[gi], colHi: p.passBounds[gi+1], depth: p.depth, bufEdges: p.bufEdges}
+	g.req <- passReq{colLo: p.passBounds[gi], colHi: p.passBounds[gi+1], depth: p.depth, bufEdges: p.bufEdges, rec: p.rec}
 	for {
 		t0 := time.Now()
 		idx := <-g.filled
-		s.stats.ioWaitNanos.Add(int64(time.Since(t0)))
+		wait := time.Since(t0)
+		s.stats.ioWaitNanos.Add(int64(wait))
+		if p.rec != nil && wait >= stallSpanMin {
+			p.rec.Stall(trace.TrackWorkerBase+g.id, t0, wait)
+		}
 		if idx < 0 {
 			return
 		}
@@ -369,12 +389,19 @@ pass:
 		}
 		sl := &g.slots[idx]
 		sl.n = n
+		var t0 time.Time
+		if req.rec != nil {
+			t0 = time.Now()
+		}
 		if err := s.readSegment(sl.raw[:n*storage.EdgeBytes], int64(segPos), sl.edges[:n]); err != nil {
 			p.abort.set(err)
 			free = append(free, idx)
 			break
 		}
 		segPos += uint64(n)
+		if req.rec != nil {
+			req.rec.FetchSpan(trace.TrackFetcherBase+g.id, t0, int64(n), int64(n*storage.EdgeBytes), false)
+		}
 		g.filled <- idx
 	}
 	g.filled <- -1
@@ -466,6 +493,13 @@ pass:
 				p.abort.set(err)
 				free = append(free, idx)
 				break pass
+			}
+			if req.rec != nil {
+				bytes := payBytes
+				if weighted {
+					bytes += 4 * n
+				}
+				req.rec.FetchSpan(trace.TrackFetcherBase+g.id, t0, int64(n), int64(bytes), true)
 			}
 			g.filled <- idx
 		}

@@ -38,6 +38,50 @@ type Pool struct {
 	loop    *loopDesc
 	loopSeq atomic.Uint64
 	loopD   loopDesc
+
+	// Lifetime observability counters (see Counters). Atomics rather than
+	// mu-guarded ints so the park/unpark accounting never extends a critical
+	// section; callers diff them around a run.
+	cGangLoops atomic.Int64
+	cGangJoins atomic.Int64
+	cParks     atomic.Int64
+	cUnparks   atomic.Int64
+}
+
+// PoolCounters is a point-in-time snapshot of a pool's lifetime scheduling
+// counters. Counters only increase; diff two snapshots (Sub) to attribute
+// activity to one run.
+type PoolCounters struct {
+	// GangLoops is the number of gang-scheduled parallel loops installed.
+	GangLoops int64
+	// GangJoins is the number of times a pool worker joined a gang loop
+	// (the installing caller is not counted).
+	GangJoins int64
+	// Parks counts worker park episodes (a worker found no work anywhere
+	// and blocked); Unparks counts the wake-ups that ended them. Unparks
+	// can lag Parks by up to Workers() while workers are currently parked.
+	Parks   int64
+	Unparks int64
+}
+
+// Sub returns the counter-wise difference c - o.
+func (c PoolCounters) Sub(o PoolCounters) PoolCounters {
+	return PoolCounters{
+		GangLoops: c.GangLoops - o.GangLoops,
+		GangJoins: c.GangJoins - o.GangJoins,
+		Parks:     c.Parks - o.Parks,
+		Unparks:   c.Unparks - o.Unparks,
+	}
+}
+
+// Counters returns a snapshot of the pool's lifetime scheduling counters.
+func (p *Pool) Counters() PoolCounters {
+	return PoolCounters{
+		GangLoops: p.cGangLoops.Load(),
+		GangJoins: p.cGangJoins.Load(),
+		Parks:     p.cParks.Load(),
+		Unparks:   p.cUnparks.Load(),
+	}
 }
 
 // loopDesc describes one gang-scheduled parallel loop executed by the
@@ -120,6 +164,7 @@ func (p *Pool) tryLoop(begin, end, chunk, limit int, bodyW func(worker, lo, hi i
 	d.running = 0
 	p.loop = d
 	p.loopSeq.Add(1)
+	p.cGangLoops.Add(1)
 	// Wake only as many workers as can join: broadcasting for a 2-worker
 	// loop on a large pool would stampede every parked worker through the
 	// mutex just to find joined >= limit. A Signal consumed by a non-worker
@@ -237,6 +282,7 @@ func (p *Pool) run(worker int) {
 				id := d.joined
 				d.joined++
 				d.running++
+				p.cGangJoins.Add(1)
 				p.mu.Unlock()
 				d.run(id)
 				p.mu.Lock()
@@ -270,8 +316,16 @@ func (p *Pool) run(worker int) {
 		// No work anywhere: park until a task is queued, a gang loop this
 		// worker has not seen arrives, or shutdown.
 		p.mu.Lock()
+		parked := false
 		for p.queued == 0 && !p.stopped && !(p.loop != nil && p.loopSeq.Load() != lastLoop) {
+			if !parked {
+				parked = true
+				p.cParks.Add(1)
+			}
 			p.cond.Wait()
+		}
+		if parked {
+			p.cUnparks.Add(1)
 		}
 		if p.stopped && p.queued == 0 {
 			p.mu.Unlock()

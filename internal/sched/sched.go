@@ -92,6 +92,14 @@ func DefaultPool() *Pool {
 	return defaultPool
 }
 
+// DefaultCounters returns the lifetime scheduling counters of the
+// process-wide pool. Callers attributing activity to one run snapshot it
+// before and after and diff with Sub; the engine does exactly that when a
+// trace recorder is attached.
+func DefaultCounters() PoolCounters {
+	return DefaultPool().Counters()
+}
+
 // ParallelFor executes body(i) for every i in [begin, end) using p workers
 // (p<=0 means MaxWorkers). Iterations are distributed dynamically in chunks
 // of DefaultChunkSize so that skewed per-iteration cost (e.g. high-degree
