@@ -253,13 +253,16 @@ type Config struct {
 	// GridP is the grid dimension (0 = the paper's 256, clamped for small
 	// graphs and — for oversized requests — by LLC fit).
 	GridP int
-	// GridLevels is the grid-resolution policy over the grid pyramid (the
-	// virtual coarser views the prep builders attach to every grid). With
-	// FlowAuto, N > 0 restricts the planner to the finest N resolutions and
-	// 0 (the default) lets it choose among every level; on a static grid
+	// GridLevels is the grid-resolution policy over the grid's coarsening
+	// ladder — the virtual coarser views the prep builders attach to every
+	// in-memory grid, and the zero-copy coalescing levels of an on-disk
+	// store (Store runs stream coarse cells as merged reads of the same
+	// bytes, bit-identical to the finest level). With FlowAuto, N > 0
+	// restricts the planner to the finest N resolutions and 0 (the
+	// default) lets it choose among every level; on a static grid
 	// configuration N > 0 pins execution to the N-th level (1 = the
-	// materialized grid, 2 = P/2, ...). Static flows on other layouts and
-	// Store runs reject it.
+	// materialized/stored P, 2 = P/2, ...). Static flows on other layouts
+	// reject it.
 	GridLevels int
 	// Workers bounds parallelism (0 = all CPUs).
 	Workers int
@@ -533,6 +536,32 @@ func (st *Store) CompressionRatio() float64 {
 		return 1
 	}
 	return float64(st.s.NumEdges()*12) / float64(stored)
+}
+
+// Levels returns the grid dimensions of the store's virtual coarsening
+// ladder, finest first (the stored P, then each halving down to 1).
+// Streamed runs can execute at any rung bit-identically — coarse cells are
+// coalesced reads of the same bytes — and Repartition can make any rung
+// the store's physical resolution.
+func (st *Store) Levels() []int {
+	levels := st.s.Levels()
+	out := make([]int, len(levels))
+	for i, lv := range levels {
+		out[i] = lv.P
+	}
+	return out
+}
+
+// Repartition rewrites the store at outPath with targetP — which must be a
+// rung of Levels() — optionally switching formats (compressed selects the
+// version-2 layout). The output is CRC-verified before returning, and runs
+// over it are bit-identical to runs over the source: the offline
+// counterpart of the planner streaming at a coarser virtual level. See
+// cmd/egsrepack for the CLI, including choosing targetP from measured
+// costs.
+func (st *Store) Repartition(outPath string, targetP int, compressed bool) error {
+	_, err := oocore.Repartition(st.s, outPath, targetP, compressed)
+	return err
 }
 
 // SetDevice attaches a virtual-bandwidth device model (DeviceSSD,

@@ -494,6 +494,33 @@ func RunPerf(scale Scale) (*PerfReport, error) {
 				}
 			}
 		}},
+		{"pagerank_rmat_streamed_gridauto", func(b *testing.B) {
+			// Adaptive streamed PageRank with the virtual coarsening ladder
+			// open: the store's 256x256 grid is a misfit at this scale, so
+			// the planner streams it at a coarser rung (visible as the
+			// grid/<P>@s1 plan label with P below the stored 256) — fewer
+			// coalesced reads per pass than the finest-pinned streamed_auto
+			// case, bit-identical results.
+			gridAutoStream := streamGridAutoConfig(workers, camp.priors("pagerank"))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.RunStreamed(store, algorithms.NewPageRank(), gridAutoStream); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"pagerank_rmat_streamed_gridauto_iter", func(b *testing.B) {
+			// Steady-state iterations at the planner-chosen rung: once the
+			// dense run freezes its level, coarse merged passes must stay
+			// allocation-free exactly like the finest-level ones.
+			gridAutoStream := streamGridAutoConfig(workers, camp.priors("pagerank"))
+			pr := algorithms.NewPageRank()
+			pr.Iterations = b.N
+			b.ReportAllocs()
+			if _, err := core.RunStreamed(store, pr, gridAutoStream); err != nil {
+				b.Fatal(err)
+			}
+		}},
 		{"pagerank_rmat_grid256_iter", func(b *testing.B) {
 			// The misfit baseline: the seeded 256x256 grid, pinned. At this
 			// scale most cells hold a handful of edges, so per-span setup
@@ -668,8 +695,22 @@ const perfStreamBudget = 32 << 20
 
 // streamAutoConfig is the adaptive streamed configuration shared by the
 // streamed-auto bench cases and their plan-trace runs, so the trace
-// recorded in the JSON always describes the measured configuration.
+// recorded in the JSON always describes the measured configuration. It pins
+// GridLevels to the finest rung: these cases are the archived I/O-knob
+// baselines, and letting the planner also coarsen the streaming resolution
+// would make them incomparable with earlier campaigns — the resolution
+// choice is measured by the separate streamed_gridauto cases.
 func streamAutoConfig(workers int, priors map[string]float64) core.Config {
+	return core.Config{Flow: core.Auto, Workers: workers, MemoryBudget: perfStreamBudget, CostPriors: priors, GridLevels: 1}
+}
+
+// streamGridAutoConfig additionally opens the store's virtual coarsening
+// ladder to the planner (GridLevels 0 = every rung): the streamed
+// counterpart of the in-memory gridauto cases. The perf store is a
+// deliberately misfit 256x256 grid at these scales, so the planner should
+// stream it at a coarser rung — fewer, larger coalesced reads of the same
+// bytes — and the case measures that choice end to end.
+func streamGridAutoConfig(workers int, priors map[string]float64) core.Config {
 	return core.Config{Flow: core.Auto, Workers: workers, MemoryBudget: perfStreamBudget, CostPriors: priors}
 }
 
@@ -677,10 +718,15 @@ func adaptiveRuns(g, gridG *graph.Graph, src, srcV2 core.Source, workers int, wa
 	autoBFS := autoConfig(workers, camp.priors("bfs"))
 	autoPR := autoConfig(workers, camp.priors("pagerank"))
 	autoStream := streamAutoConfig(workers, camp.priors("pagerank"))
+	gridAutoStream := streamGridAutoConfig(workers, camp.priors("pagerank"))
 	// The full-run and per-iteration grid-resolution cases execute the same
 	// configuration, so their shared trace run is memoized — one adaptive
-	// PageRank over the grid graph serves both JSON entries.
+	// PageRank over the grid graph serves both JSON entries; likewise for
+	// the streamed ladder-open pair.
 	gridPR := memoRun(func() (*core.Result, error) { return core.Run(gridG, algorithms.NewPageRank(), autoPR) })
+	streamGridPR := memoRun(func() (*core.Result, error) {
+		return core.RunStreamed(src, algorithms.NewPageRank(), gridAutoStream)
+	})
 	return []adaptiveRun{
 		{"bfs_rmat_auto", "bfs", func() (*core.Result, error) { return core.Run(g, algorithms.NewBFS(0), autoBFS) }},
 		{"pagerank_rmat_auto_iter", "pagerank", func() (*core.Result, error) { return core.Run(g, algorithms.NewPageRank(), autoPR) }},
@@ -690,6 +736,8 @@ func adaptiveRuns(g, gridG *graph.Graph, src, srcV2 core.Source, workers int, wa
 		{"pagerank_rmat_streamed_v2_auto", "pagerank", func() (*core.Result, error) {
 			return core.RunStreamed(srcV2, algorithms.NewPageRank(), autoStream)
 		}},
+		{"pagerank_rmat_streamed_gridauto", "pagerank", streamGridPR},
+		{"pagerank_rmat_streamed_gridauto_iter", "pagerank", streamGridPR},
 		{"pagerank_rmat_gridauto", "pagerank", gridPR},
 		{"pagerank_rmat_gridauto_iter", "pagerank", gridPR},
 		{"bfs_rmat_gridauto", "bfs", func() (*core.Result, error) { return core.Run(gridG, algorithms.NewBFS(0), autoBFS) }},

@@ -137,8 +137,10 @@ type Config struct {
 	// 2 = P/2, ...), clamped to the deepest level built, and 0 runs the
 	// materialized grid exactly as before. Static flows on any other layout
 	// reject it — there is no grid whose resolution it could select. Runs
-	// over a disk store reject it too: the store's resolution is fixed on
-	// disk.
+	// over a disk store apply the same policy to the store's virtual
+	// coarsening ladder (see StreamLeveler): the stored resolution is the
+	// finest level, coarser rungs merge adjacent row segments into fewer,
+	// larger reads, bit-identically.
 	GridLevels int
 	// MaxIterations caps the number of iterations (0 = no cap). Algorithms
 	// with a fixed iteration count (PageRank) converge on their own.
@@ -300,7 +302,8 @@ func (cfg Config) validateAlpha() error {
 	if cfg.GridLevels < 0 {
 		return fmt.Errorf("core: GridLevels must be non-negative, got %d", cfg.GridLevels)
 	}
-	if cfg.GridLevels != 0 && cfg.Flow != Auto && cfg.Layout != graph.LayoutGrid {
+	if cfg.GridLevels != 0 && cfg.Flow != Auto &&
+		cfg.Layout != graph.LayoutGrid && cfg.Layout != graph.LayoutGridCompressed {
 		return fmt.Errorf("core: GridLevels selects a grid resolution; a static %v configuration has no grid to apply it to", cfg.Layout)
 	}
 	return nil

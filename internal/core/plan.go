@@ -33,11 +33,19 @@ type StepPlan struct {
 	// GridLevel is the grid resolution (the dimension P) the iteration runs
 	// at, for Layout == LayoutGrid: static configurations pin the
 	// materialized grid's P (or the level Config.GridLevels selects), the
-	// adaptive planner chooses among the pyramid's levels per run. 0 on
+	// adaptive planner chooses among the pyramid's levels per run — and, on
+	// streamed runs, among the store's virtual coarsening ladder. 0 on
 	// non-grid plans. Unlike the I/O knobs it is part of the plan's identity
 	// (key() keeps it): per-edge cost is a property of the resolution — the
 	// whole point of planning it — so cost entries are kept per level.
 	GridLevel int
+	// StreamFormat is the storage format version of a streamed plan (1 =
+	// fixed-record, 2 = compressed segments); 0 on in-memory plans. It is
+	// part of the plan's identity and its label ("@s<N>" after the level):
+	// the same grid label over different on-disk formats measures different
+	// byte costs, and keeping them apart stops persisted cost entries from
+	// cross-seeding across formats.
+	StreamFormat int
 	// IO is the I/O dimension of a streamed iteration: how deep each worker
 	// prefetches and how much resident buffer memory the pass may use. It is
 	// the zero IOPlan for in-memory iterations.
@@ -95,7 +103,11 @@ func formatBytes(n int64) string {
 func (p StepPlan) String() string {
 	layout := p.Layout.String()
 	if (p.Layout == graph.LayoutGrid || p.Layout == graph.LayoutGridCompressed) && p.GridLevel > 0 {
-		layout = fmt.Sprintf("%s/%d", layout, p.GridLevel)
+		if p.StreamFormat > 0 {
+			layout = fmt.Sprintf("%s/%d@s%d", layout, p.GridLevel, p.StreamFormat)
+		} else {
+			layout = fmt.Sprintf("%s/%d", layout, p.GridLevel)
+		}
 	}
 	if p.IO.PrefetchDepth > 0 {
 		return fmt.Sprintf("%s/%v/%v%v", layout, p.Flow, p.Sync, p.IO)
@@ -182,8 +194,9 @@ type fixedPlanner struct {
 
 // newFixedPlanner builds the static planner. gridP pins the grid resolution
 // of grid plans (the materialized P, or the pyramid level Config.GridLevels
-// selects); it is 0 for non-grid layouts.
-func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMode, gridP int, rec *trace.Recorder) *fixedPlanner {
+// selects); it is 0 for non-grid layouts. streamFormat carries the store
+// format version of streamed runs (0 for in-memory ones).
+func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMode, gridP, streamFormat int, rec *trace.Recorder) *fixedPlanner {
 	resolved := flow
 	if flow == PushPull {
 		resolved = Push // per-iteration; overwritten by Next
@@ -198,7 +211,7 @@ func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMo
 	}
 	p := &fixedPlanner{
 		env:  env,
-		plan: StepPlan{Layout: layout, Flow: resolved, Sync: sync, Tracked: env.tracked, GridLevel: gridP},
+		plan: StepPlan{Layout: layout, Flow: resolved, Sync: sync, Tracked: env.tracked, GridLevel: gridP, StreamFormat: streamFormat},
 		flow: flow,
 		rec:  rec,
 	}
@@ -427,8 +440,13 @@ func (p *ioPlanner) observe(stats IterationStats) {
 		return
 	}
 	// The stall fraction is normalized by the parallelism the measured pass
-	// actually ran (cur is only mutated below, after the read).
+	// actually ran (cur is only mutated below, after the read). A coarse
+	// stream level owns at most GridLevel columns, so the pass cannot have
+	// run more workers than that whatever the shed state says.
 	eff := p.effectiveWorkers()
+	if gl := stats.Plan.GridLevel; gl > 0 && stats.Plan.StreamFormat > 0 && eff > gl {
+		eff = gl
+	}
 	wait := float64(stats.IOWait) / (float64(stats.Duration) * float64(eff))
 	prev := p.cur
 	defer func() {
@@ -903,7 +921,7 @@ func newPlanner(g *graph.Graph, cfg Config, r *runner, alpha int, workers int, t
 			env.activeOutEdges = nil
 			gridP = g.Compressed.P
 		}
-		return newFixedPlanner(env, cfg.Layout, cfg.Flow, cfg.Sync, gridP, cfg.Trace), nil
+		return newFixedPlanner(env, cfg.Layout, cfg.Flow, cfg.Sync, gridP, 0, cfg.Trace), nil
 	}
 
 	candidates := autoCandidates(g, cfg, workers, tracked)
@@ -1041,14 +1059,97 @@ func residentScanEdges(g *graph.Graph) int64 {
 	return m
 }
 
+// streamReadPrior is the assumed cost of one coalesced stream read (issue,
+// slot handoff, pipeline protocol) in the same hand-prior units as the
+// per-edge priors above: one read is priced like ~5000 edges of grid
+// compute. Only the ordering matters — the term makes a store averaging
+// well under that many edges per coalesced read (an over-partitioned store)
+// read-overhead-bound in the model, so its prior-frozen dense runs already
+// choose a coarser virtual level, while stores whose reads amortize keep
+// the finest level and its better cache behaviour. Measured ns/edge
+// replaces the prediction per level after one iteration on tracked runs.
+const streamReadPrior = 12000.0
+
+// streamCandidateLevels returns the virtual resolutions a streamed run may
+// execute at: the source's ladder when it has one, otherwise the single
+// stored resolution (every Source can stream at its own P).
+func streamCandidateLevels(src Source, workers int, budgetCap int64) []StreamLevelInfo {
+	if sl, ok := src.(StreamLeveler); ok {
+		if levels := sl.StreamLevels(workers, budgetCap); len(levels) > 0 {
+			return levels
+		}
+	}
+	p := src.GridP()
+	rangeSize := 0
+	if p > 0 {
+		rangeSize = (src.NumVertices() + p - 1) / p
+	}
+	return []StreamLevelInfo{{
+		P:         p,
+		RangeSize: rangeSize,
+		Workers:   StreamExecWorkers(p, workers, budgetCap),
+	}}
+}
+
+// admitStreamLevels applies the Config.GridLevels policy (finest N levels,
+// 0 = all) and then drops rungs that would execute indistinguishably from
+// the previous kept one: a coarser level only changes a pass through its
+// worker clamp or its coalesced read count, so a rung with the same
+// effective workers and a read count within 10% of the last kept rung's
+// would just be a duplicate arm of the cost model, slowing convergence.
+// The finest level is always kept.
+func admitStreamLevels(levels []StreamLevelInfo, gridLevels int) []StreamLevelInfo {
+	n := len(levels)
+	if gridLevels > 0 && gridLevels < n {
+		n = gridLevels
+	}
+	levels = levels[:n]
+	out := levels[:1:1]
+	kept := levels[0]
+	for _, lv := range levels[1:] {
+		if lv.Workers < kept.Workers || lv.Reads*10 <= kept.Reads*9 {
+			out = append(out, lv)
+			kept = lv
+		}
+	}
+	return out
+}
+
+// streamLevelPrior predicts the per-edge cost prior of one stream level.
+// Compute departs from the base prior exactly like the in-memory pyramid's
+// (destination-metadata cache misfit, ownership-limited parallelism, see
+// gridLevelPrior); the read side prices the level's predicted coalesced
+// read count per fetcher, amortized over the scanned edges. Reads overlap
+// compute — that is the prefetch pipeline's whole point — so the predicted
+// wall cost is whichever side of the overlap dominates.
+func streamLevelPrior(base float64, lv StreamLevelInfo, workers int, totalEdges int64) float64 {
+	ws := int64(lv.RangeSize) * graph.GridVertexMetaBytes
+	miss := gridLLCMissPenalty*(1-cachesim.MachineB.PredictHitRatio(ws)) +
+		gridInnerMissPenalty*(1-cachesim.L1D.PredictHitRatio(ws))
+	compute := base * (1 + miss)
+	if lv.Workers > 0 && workers > lv.Workers {
+		compute *= float64(workers) / float64(lv.Workers)
+	}
+	if totalEdges <= 0 || lv.Reads <= 0 || lv.Workers <= 0 {
+		return compute
+	}
+	fetch := streamReadPrior * float64(lv.Reads) / (float64(lv.Workers) * float64(totalEdges))
+	if fetch > compute {
+		return fetch
+	}
+	return compute
+}
+
 // newStreamPlanner builds the planner for a streamed (out-of-core) run:
 // layout and sync are pinned by the store's column-ownership argument, so
-// the plannable dimensions are the direction and the I/O knobs — pinned to
-// the configured values by the fixedPlanner for static flows, moved online
-// by the adaptive planner (direction from the frontier thresholds, prefetch
-// depth and memory budget from the measured IOWait breakdown) for
-// Flow == Auto.
-func newStreamPlanner(src Source, cfg Config, workers, alpha int, tracked bool) planner {
+// the plannable dimensions are the direction, the virtual grid level (the
+// store's coarsening ladder, see StreamLeveler) and the I/O knobs. Static
+// flows pin one level — the stored resolution, or the ladder rung
+// Config.GridLevels selects — with the I/O knobs fixed to the configured
+// values; Flow == Auto enumerates one push/pull candidate pair per admitted
+// level, costed by streamLevelPrior and refined by measured ns/edge, with
+// the I/O knobs moved online from the measured IOWait breakdown.
+func newStreamPlanner(src Source, cfg Config, workers int, budgetCap int64, alpha int, tracked bool) planner {
 	env := plannerEnv{
 		numVertices: src.NumVertices(),
 		totalEdges:  src.NumEdges(),
@@ -1056,35 +1157,47 @@ func newStreamPlanner(src Source, cfg Config, workers, alpha int, tracked bool) 
 		tracked:     tracked,
 		// No resident out index: the count heuristic decides direction.
 	}
-	// The store's resolution is fixed on disk, so streamed plans always
-	// carry it (labels and cost entries stay per-resolution, exactly like
-	// the in-memory pyramid's) but the planner never varies it. Compressed
-	// (v2) stores label and cost their plans as "compressed/<P>" so traces
-	// and cached measurements never conflate the two storage formats.
-	gridP := src.GridP()
+	// Compressed (v2) stores label and cost their plans as "compressed/<P>";
+	// both formats append "@s<version>" so traces and cached measurements
+	// never conflate a level across storage formats.
 	layout := graph.LayoutGrid
 	pushPrior, pullPrior := priorGridPush, priorGridPull
+	format := 1
 	if src.Compressed() {
 		layout = graph.LayoutGridCompressed
 		pushPrior, pullPrior = priorCompressedPush, priorCompressedPull
+		format = 2
 	}
+	levels := streamCandidateLevels(src, workers, budgetCap)
 	if cfg.Flow != Auto {
-		p := newFixedPlanner(env, layout, cfg.Flow, SyncPartitionFree, gridP, cfg.Trace)
-		p.io = newIOPlanner(cfg, workers, false)
+		lv := levels[0]
+		if idx := cfg.GridLevels - 1; idx > 0 {
+			if idx > len(levels)-1 {
+				idx = len(levels) - 1
+			}
+			lv = levels[idx]
+		}
+		p := newFixedPlanner(env, layout, cfg.Flow, SyncPartitionFree, lv.P, format, cfg.Trace)
+		p.io = newIOPlanner(cfg, StreamExecWorkers(lv.P, workers, budgetCap), false)
 		return p
 	}
-	p := newAdaptivePlanner(env, []planCandidate{
-		{
-			plan:     StepPlan{Layout: layout, Flow: Push, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: gridP},
-			prior:    pushPrior,
-			fullScan: true,
-		},
-		{
-			plan:     StepPlan{Layout: layout, Flow: Pull, Sync: SyncPartitionFree, Tracked: tracked, GridLevel: gridP},
-			prior:    pullPrior,
-			fullScan: true,
-		},
-	}, cfg.CostPriors, cfg.Trace)
-	p.io = newIOPlanner(cfg, workers, true)
+	var cs []planCandidate
+	for _, lv := range admitStreamLevels(levels, cfg.GridLevels) {
+		for _, d := range []struct {
+			flow Flow
+			base float64
+		}{{Push, pushPrior}, {Pull, pullPrior}} {
+			cs = append(cs, planCandidate{
+				plan: StepPlan{
+					Layout: layout, Flow: d.flow, Sync: SyncPartitionFree,
+					Tracked: tracked, GridLevel: lv.P, StreamFormat: format,
+				},
+				prior:    streamLevelPrior(d.base, lv, workers, env.totalEdges),
+				fullScan: true,
+			})
+		}
+	}
+	p := newAdaptivePlanner(env, cs, cfg.CostPriors, cfg.Trace)
+	p.io = newIOPlanner(cfg, StreamExecWorkers(src.GridP(), workers, budgetCap), true)
 	return p
 }

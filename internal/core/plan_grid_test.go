@@ -289,10 +289,12 @@ func TestGridLevelsValidation(t *testing.T) {
 			t.Fatalf("config %+v should validate: %v", ok, err)
 		}
 	}
-	// Streamed runs have no pyramid: the store's resolution is fixed.
+	// Streamed runs apply the policy to the source's virtual coarsening
+	// ladder; a source without one (fakeSource) has a single level, so any
+	// policy clamps to it and the run succeeds.
 	src := &fakeSource{n: 10, edges: []graph.Edge{{Src: 0, Dst: 1}}}
-	if _, err := RunStreamed(src, algorithms.NewBFS(0), Config{Flow: Auto, GridLevels: 2}); err == nil {
-		t.Fatal("GridLevels on a streamed run must be rejected")
+	if _, err := RunStreamed(src, algorithms.NewBFS(0), Config{Flow: Auto, GridLevels: 2}); err != nil {
+		t.Fatalf("GridLevels on a streamed run should clamp to the source's ladder: %v", err)
 	}
 }
 

@@ -39,6 +39,12 @@ type StreamOptions struct {
 	// rotation during this pass (0 selects DefaultPrefetchDepth; sources
 	// clamp to [MinPrefetchDepth, MaxPrefetchDepth]).
 	PrefetchDepth int
+	// GridLevel selects the virtual grid resolution of this pass: a coarse
+	// dimension from the source's level ladder (see StreamLeveler), at which
+	// the source merges adjacent row segments into fewer, larger reads. 0 —
+	// or the source's own GridP — streams at the stored resolution. Sources
+	// without virtual levels ignore it.
+	GridLevel int
 	// Trace, when non-nil, receives fetch (read/decode) spans from the
 	// source's prefetch pipeline and stall spans from its compute workers
 	// for this pass. Sources without internal instrumentation may ignore it.
@@ -120,6 +126,27 @@ type Source interface {
 	Stats() SourceStats
 }
 
+// StreamLevelInfo describes one virtual grid resolution a source can stream
+// at: the coarse dimension and vertex range, the worker count a pass at
+// this level effectively runs (StreamExecWorkers at the coarse dimension),
+// and the predicted coalesced read count per pass at that count — the
+// planner's cost inputs for enumerating stream levels.
+type StreamLevelInfo struct {
+	P           int
+	RangeSize   int
+	Workers     int
+	Reads       int64
+	MaxRunEdges int
+}
+
+// StreamLeveler is implemented by sources whose cell layout admits virtual
+// coarsening (the .egs store's row-major segments). StreamLevels returns
+// the ladder finest first; every returned P is accepted as
+// StreamOptions.GridLevel with bit-identical results across levels.
+type StreamLeveler interface {
+	StreamLevels(workers int, budgetCap int64) []StreamLevelInfo
+}
+
 // degreePreset is implemented by algorithms (PageRank) that normally derive
 // per-vertex degrees from the resident edge array and must instead accept
 // them from the store's metadata.
@@ -148,9 +175,6 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	}
 	if err := cfg.validateAlpha(); err != nil {
 		return nil, err
-	}
-	if cfg.GridLevels != 0 {
-		return nil, fmt.Errorf("core: GridLevels selects an in-memory pyramid resolution; a streamed store's grid is fixed on disk at %dx%d", src.GridP(), src.GridP())
 	}
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -185,7 +209,7 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	if budgetCap <= 0 {
 		budgetCap = DefaultStreamMemoryBudget
 	}
-	pl := newStreamPlanner(src, cfg, streamWorkers(src, workers, budgetCap), alpha, !alg.Dense())
+	pl := newStreamPlanner(src, cfg, workers, budgetCap, alpha, !alg.Dense())
 
 	rec := cfg.Trace
 	var labeler *planLabeler
@@ -229,6 +253,7 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 			MemoryBudget:    plan.IO.MemoryBudget,
 			MemoryBudgetCap: budgetCap,
 			PrefetchDepth:   plan.IO.PrefetchDepth,
+			GridLevel:       plan.GridLevel,
 			Trace:           rec,
 		}
 

@@ -24,8 +24,11 @@ import (
 // labels carry their resolution ("grid/256/push/no-lock"), so version-1
 // caches' grid entries would silently never match a candidate again —
 // rejecting the old file loudly beats a warm start that quietly degrades
-// to cold priors.
-const Version = 2
+// to cold priors. Version 3: streamed plan labels carry the store format
+// version and virtual level ("grid/256@s1/...", "compressed/64@s2/...") —
+// before the provenance, a v1 and a v2 store of the same graph shared a
+// label and silently cross-seeded each other's measured byte costs.
+const Version = 3
 
 // File is the decoded cache: per run label (see Key), the measured ns per
 // scanned edge of every plan the adaptive planner exercised (keyed by the

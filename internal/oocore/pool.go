@@ -35,6 +35,13 @@ type passReq struct {
 	colLo, colHi int
 	depth        int
 	bufEdges     int
+	// factor is the virtual-coarsening factor of the pass's grid level:
+	// consecutive fine-row segments inside one coarse row (factor fine rows)
+	// merge into a single read whenever the cells between them are empty.
+	// factor 1 — the store's own resolution — merges nothing.
+	factor int
+	// level is the pass's virtual grid dimension, carried for fetch spans.
+	level int
 	// rec receives this pass's fetch (read/decode) spans; nil when the run
 	// is untraced. It travels in the request — not read off the pool — so a
 	// fetcher still draining never races the next pass's beginPass.
@@ -102,24 +109,36 @@ type streamPool struct {
 	// the arenas are sized by and the accounting charges.
 	rawPerEdge      int
 	residentPerEdge int64
-	// Column partitions and largest coalesced reads, one per pass worker
-	// count in [1, workers]: a pass may run on fewer workers than the pool
-	// was built for (the planner's bandwidth-saturation response), and the
-	// wider column groups of the reduced counts need their own boundaries.
-	// Precomputed here so choosing a count per pass allocates nothing.
-	boundsFor [][]int
-	maxSegFor []int
-	groups    []group
-	body      func(worker, lo, hi int) // compute fan-out body, bound once
+	// Column partitions and largest coalesced reads, one per virtual grid
+	// level and per pass worker count in [1, workers]: a pass may run at a
+	// coarser level than the store's resolution (the planner's GridLevel
+	// choice) and on fewer workers than the pool was built for (its
+	// bandwidth-saturation response); each combination needs its own
+	// boundaries and segment bound. Precomputed here so choosing a level and
+	// a count per pass allocates nothing.
+	levels []poolLevel
+	groups []group
+	body   func(worker, lo, hi int) // compute fan-out body, bound once
 
 	// Per-pass state, set by beginPass before the fan-out starts.
 	passWorkers int
 	passBounds  []int
+	passFactor  int
+	passLevel   int
 	depth       int
 	bufEdges    int
 	visit       func(worker int, edges []graph.Edge)
 	rec         *trace.Recorder
 	abort       streamAbort
+}
+
+// poolLevel is one virtual grid level's precomputed pass shapes: index w of
+// boundsFor/maxSegFor holds the column boundaries and the largest coalesced
+// read of a w-worker pass at this level.
+type poolLevel struct {
+	p, factor int
+	boundsFor [][]int
+	maxSegFor []int
 }
 
 // poolParams resolves the pass shape that determines the pool build: the
@@ -166,13 +185,30 @@ func (s *Store) ensurePoolLocked(opt core.StreamOptions) *streamPool {
 // the same bound the planner raises against, so planned depth == executed
 // depth).
 func (s *Store) buildPool(workers int, budgetCap int64) *streamPool {
-	// One column partition (and largest-read figure) per runnable pass
-	// worker count: index w holds the boundaries of a w-worker pass.
-	boundsFor := make([][]int, workers+1)
-	maxSegFor := make([]int, workers+1)
-	for w := 1; w <= workers; w++ {
-		boundsFor[w] = partitionColumns(s.colEdges, w)
-		maxSegFor[w] = maxRowSegmentEdges(s.cellIndex, s.header.P, boundsFor[w])
+	// One column partition (and largest-read figure) per virtual grid level
+	// and per runnable pass worker count: levels[l].boundsFor[w] holds the
+	// boundaries of a w-worker pass at level l. maxSeg tracks the largest
+	// coalesced read any (level, count) combination can issue — coarse
+	// levels merge row segments, so their reads can be far larger than the
+	// finest level's, and the arenas must fit them to realize the fewer,
+	// larger I/Os the level is chosen for.
+	levels := make([]poolLevel, len(s.levels))
+	maxSeg := 0
+	for li, lv := range s.levels {
+		pl := poolLevel{
+			p:         lv.P,
+			factor:    lv.Factor,
+			boundsFor: make([][]int, workers+1),
+			maxSegFor: make([]int, workers+1),
+		}
+		for w := 1; w <= workers; w++ {
+			pl.boundsFor[w] = s.levelBounds(lv.Factor, w)
+			_, pl.maxSegFor[w] = s.levelRuns(lv.Factor, pl.boundsFor[w])
+			if pl.maxSegFor[w] > maxSeg {
+				maxSeg = pl.maxSegFor[w]
+			}
+		}
+		levels[li] = pl
 	}
 	rawPerEdge := storage.EdgeBytes
 	if s.Compressed() {
@@ -183,7 +219,6 @@ func (s *Store) buildPool(workers int, budgetCap int64) *streamPool {
 	}
 	residentPerEdge := int64(rawPerEdge + decodedEdgeBytes)
 	depthCap := core.StreamDepthCap(workers, budgetCap)
-	maxSeg := maxSegFor[workers]
 	arenaEdges := int(budgetCap / (int64(workers) * residentPerEdge))
 	if maxSeg > 0 && arenaEdges > maxSeg*depthCap {
 		arenaEdges = maxSeg * depthCap
@@ -206,8 +241,7 @@ func (s *Store) buildPool(workers int, budgetCap int64) *streamPool {
 		arenaEdges:      arenaEdges,
 		rawPerEdge:      rawPerEdge,
 		residentPerEdge: residentPerEdge,
-		boundsFor:       boundsFor,
-		maxSegFor:       maxSegFor,
+		levels:          levels,
 		groups:          make([]group, workers),
 	}
 	for i := range p.groups {
@@ -243,16 +277,27 @@ func (s *Store) stopPoolLocked() {
 }
 
 // beginPass resolves the per-pass knobs against the allocated arenas: the
-// pass's worker count (≤ the built ceiling) selects its precomputed column
-// partition, depth ≤ depthCap slots rotate per group, each owning a 1/depth
-// share of its group's arena, with slices additionally bounded by the pass
-// budget and by the largest read that can ever fill at this worker count.
+// pass's grid level (a per-pass knob like depth and budget — the pool is
+// never rebuilt for it) and worker count (≤ the built ceiling, and ≤ the
+// level's dimension) select a precomputed column partition, depth ≤ depthCap
+// slots rotate per group, each owning a 1/depth share of its group's arena,
+// with slices additionally bounded by the pass budget and by the largest
+// coalesced read that can ever fill at this level and worker count.
 func (p *streamPool) beginPass(opt core.StreamOptions, visit func(worker int, edges []graph.Edge)) {
+	lv := &p.levels[0]
+	if opt.GridLevel > 0 {
+		for i := range p.levels {
+			if p.levels[i].p == opt.GridLevel {
+				lv = &p.levels[i]
+				break
+			}
+		}
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = p.workers
 	}
-	workers = core.StreamExecWorkers(p.store.header.P, workers, p.cap)
+	workers = core.StreamExecWorkers(lv.p, workers, p.cap)
 	if workers > p.workers {
 		workers = p.workers
 	}
@@ -274,7 +319,7 @@ func (p *streamPool) beginPass(opt core.StreamOptions, visit func(worker int, ed
 	if share := p.arenaEdges / depth; bufEdges > share {
 		bufEdges = share
 	}
-	if maxSeg := p.maxSegFor[workers]; maxSeg > 0 && bufEdges > maxSeg {
+	if maxSeg := lv.maxSegFor[workers]; maxSeg > 0 && bufEdges > maxSeg {
 		bufEdges = maxSeg
 	}
 	// Whole-cell decode granularity: a compressed slot must fit the largest
@@ -286,7 +331,8 @@ func (p *streamPool) beginPass(opt core.StreamOptions, visit func(worker int, ed
 	if bufEdges < 1 {
 		bufEdges = 1
 	}
-	p.passWorkers, p.passBounds = workers, p.boundsFor[workers]
+	p.passWorkers, p.passBounds = workers, lv.boundsFor[workers]
+	p.passFactor, p.passLevel = lv.factor, lv.p
 	p.depth, p.bufEdges, p.visit = depth, bufEdges, visit
 	p.rec = opt.Trace
 	p.abort.reset()
@@ -306,7 +352,12 @@ func (p *streamPool) runGroup(gi int) {
 	s.stats.addResident(resident)
 	defer s.stats.addResident(-resident)
 
-	g.req <- passReq{colLo: p.passBounds[gi], colHi: p.passBounds[gi+1], depth: p.depth, bufEdges: p.bufEdges, rec: p.rec}
+	g.req <- passReq{
+		colLo: p.passBounds[gi], colHi: p.passBounds[gi+1],
+		depth: p.depth, bufEdges: p.bufEdges,
+		factor: p.passFactor, level: p.passLevel,
+		rec: p.rec,
+	}
 	for {
 		t0 := time.Now()
 		idx := <-g.filled
@@ -370,6 +421,16 @@ pass:
 				break pass
 			}
 			segPos = s.cellIndex[row*gp+req.colLo]
+			// Virtual coarsening: while the next fine row lies in the same
+			// coarse row and every cell between this row's segment and the
+			// next row's is empty, the two segments are file-contiguous —
+			// extend the read across them. Empty gap cells contribute no
+			// records, so the merged read delivers exactly the owned edges
+			// in the unmerged order.
+			for req.factor > 1 && row+1 < gp && (row+1)%req.factor != 0 &&
+				s.cellIndex[row*gp+req.colHi] == s.cellIndex[(row+1)*gp+req.colLo] {
+				row++
+			}
 			segEnd = s.cellIndex[row*gp+req.colHi]
 			row++
 		}
@@ -400,7 +461,7 @@ pass:
 		}
 		segPos += uint64(n)
 		if req.rec != nil {
-			req.rec.FetchSpan(trace.TrackFetcherBase+g.id, t0, int64(n), int64(n*storage.EdgeBytes), false)
+			req.rec.FetchSpan(trace.TrackFetcherBase+g.id, t0, int64(n), int64(n*storage.EdgeBytes), false, req.level)
 		}
 		g.filled <- idx
 	}
@@ -438,9 +499,21 @@ func (p *streamPool) fetchCompressed(g *group, req passReq) {
 	weighted := s.weightOff > 0
 
 pass:
-	for row := 0; row < gp; row++ {
+	for row := 0; row < gp; {
+		// Virtual coarsening, same condition as fetchPass: merge consecutive
+		// fine rows inside one coarse row while the cells between their
+		// owned segments are empty. The packing loop then walks the merged
+		// window's cell span; the gap cells inside it are empty (zero
+		// payload, zero edges), so packing them along costs nothing and the
+		// coalesced payload read stays contiguous.
+		end := row
+		for req.factor > 1 && end+1 < gp && (end+1)%req.factor != 0 &&
+			s.cellIndex[end*gp+req.colHi] == s.cellIndex[(end+1)*gp+req.colLo] {
+			end++
+		}
 		cell := row*gp + req.colLo
-		rowEnd := row*gp + req.colHi
+		rowEnd := end*gp + req.colHi
+		row = end + 1
 		for cell < rowEnd {
 			if p.abort.flag.Load() {
 				break pass
@@ -499,7 +572,7 @@ pass:
 				if weighted {
 					bytes += 4 * n
 				}
-				req.rec.FetchSpan(trace.TrackFetcherBase+g.id, t0, int64(n), int64(bytes), true)
+				req.rec.FetchSpan(trace.TrackFetcherBase+g.id, t0, int64(n), int64(bytes), true, req.level)
 			}
 			g.filled <- idx
 		}

@@ -42,25 +42,9 @@ const _ = uint(residentEdgeBytes-core.StreamResidentEdgeBytes) +
 // (core.StreamExecWorkers) and the depth ceiling (core.StreamDepthCap) are
 // both derived from it, on both sides of the Source boundary.
 
-// maxRowSegmentEdges returns the edge count of the largest coalesced read
-// any group will issue — the longest (row x owned-columns) segment. A
-// buffer beyond that never fills, so the pool's slot allocation (and the
-// resident accounting) is capped there when the budget is generous.
-func maxRowSegmentEdges(cellIndex []uint64, p int, bounds []int) int {
-	var maxN uint64
-	for g := 0; g+1 < len(bounds); g++ {
-		lo, hi := bounds[g], bounds[g+1]
-		if lo >= hi {
-			continue
-		}
-		for row := 0; row < p; row++ {
-			if n := cellIndex[row*p+hi] - cellIndex[row*p+lo]; n > maxN {
-				maxN = n
-			}
-		}
-	}
-	return int(maxN)
-}
+// The largest coalesced read any group will issue — and hence the prefetch
+// slot bound — is level-dependent, so it lives with the virtual-coarsening
+// walk: see (*Store).levelRuns in levels.go.
 
 // partitionColumns splits the P columns into `workers` contiguous groups of
 // roughly equal edge mass (power-law columns make equal-width grouping

@@ -35,6 +35,9 @@ type Store struct {
 	degrees   []uint32 // per-vertex out-degrees over the stored edges
 	colEdges  []uint64 // per-column edge totals (for worker balancing)
 	dataOff   int64
+	// levels is the virtual coarsening ladder (finest first) streamed passes
+	// can run at without touching the file layout. See levels.go.
+	levels []StoreLevel
 
 	// Version-2 (compressed) stores only: per-cell payload byte offsets
 	// (P*P+1), per-cell payload CRCs (P*P), the file offset of the weight
@@ -212,6 +215,7 @@ func NewStore(backend Backend, size int64) (*Store, error) {
 			s.colEdges[col] += s.cellIndex[idx+1] - s.cellIndex[idx]
 		}
 	}
+	s.levels = buildStoreLevels(h.P, h.RangeSize)
 	return s, nil
 }
 

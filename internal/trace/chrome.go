@@ -141,14 +141,18 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			if ev.arg[2] != 0 {
 				name = "fetch+decode"
 			}
+			args := map[string]any{
+				"edges": ev.arg[0],
+				"bytes": ev.arg[1],
+			}
+			if ev.arg[3] > 0 {
+				args["grid_level"] = ev.arg[3]
+			}
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: name, Ph: "X",
 				Ts: micros(ev.start), Dur: micros(ev.dur),
-				Tid: int(ev.track),
-				Args: map[string]any{
-					"edges": ev.arg[0],
-					"bytes": ev.arg[1],
-				},
+				Tid:  int(ev.track),
+				Args: args,
 			})
 		case kindStall:
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{

@@ -239,8 +239,10 @@ func (r *Recorder) IOAdjust(iteration, prefetchDepth int, memoryBudget int64, st
 // FetchSpan records one coalesced fetch of the out-of-core pipeline: a
 // segment read (plus in-pipeline decode for compressed stores) that started
 // at start and completed now, delivering edges decoded edge records from
-// bytes stored bytes. track identifies the fetcher (TrackFetcherBase+i).
-func (r *Recorder) FetchSpan(track int32, start time.Time, edges, bytes int64, decode bool) {
+// bytes stored bytes. track identifies the fetcher (TrackFetcherBase+i);
+// level is the virtual grid level the pass streams at (0 when the caller
+// doesn't plan levels), so a trace shows which resolution paid for each read.
+func (r *Recorder) FetchSpan(track int32, start time.Time, edges, bytes int64, decode bool, level int) {
 	if r == nil {
 		return
 	}
@@ -257,7 +259,7 @@ func (r *Recorder) FetchSpan(track int32, start time.Time, edges, bytes int64, d
 		track: track,
 		start: start.Sub(r.epoch).Nanoseconds(),
 		dur:   dur,
-		arg:   [5]int64{edges, bytes, dec, 0, 0},
+		arg:   [5]int64{edges, bytes, dec, int64(level), 0},
 	})
 }
 
