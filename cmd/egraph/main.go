@@ -13,6 +13,7 @@
 //
 //	egraph -algorithm bfs -generate rmat -scale 20 -layout adjacency -flow push -sync atomics
 //	egraph -algorithm bfs -generate rmat -scale 20 -flow auto -v
+//	egraph -algorithm bfs -generate rmat -scale 20 -sources 0,7,19,42 -flow auto
 //	egraph -algorithm pagerank -generate rmat -scale 16 -layout grid -p 256 -flow auto -v
 //	egraph -algorithm pagerank -generate twitter -scale 20 -layout grid -flow pull -sync nolock
 //	egraph -algorithm sssp -input edges.txt -format text -layout adjacency
@@ -25,7 +26,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"strconv"
 	"strings"
 
 	everythinggraph "github.com/epfl-repro/everythinggraph"
@@ -49,8 +52,10 @@ func main() {
 		gridP     = flag.Int("p", 0, "grid dimension for -layout grid (0 = paper's 256, clamped for small graphs and oversized requests)")
 		gridLvls  = flag.Int("grid-levels", 0, "grid-resolution policy over the grid pyramid: with -flow auto, consider the finest N levels (0 = all); with -layout grid and a static flow, pin the N-th level (1 = materialized P, 2 = P/2, ...)")
 		source    = flag.Uint("source", 0, "source vertex for bfs/sssp")
+		sourcesF  = flag.String("sources", "", "comma-separated source vertices for a multi-source batched run (bfs and sssp only, in-memory): queries are packed into bit-parallel 64-wide sweeps, extra groups run concurrently on worker-pool leases; overrides -source")
 		prIters   = flag.Int("pagerank-iterations", 10, "PageRank iteration count")
 		workers   = flag.Int("workers", 0, "worker count (0 = all CPUs)")
+		leaseN    = flag.Int("lease", 0, "run on a worker-pool lease of up to this many workers (the concurrent-query serving mode; 0 = the shared pool)")
 		storePath = flag.String("store", "", "run out-of-core over this partitioned grid store (see gengraph -format store)")
 		memBudget = flag.Int64("membudget", 0, "resident edge-buffer budget in MiB for -store runs (0 = 256); -flow auto plans the working budget per iteration under this ceiling")
 		prefetch  = flag.Int("prefetch", 0, "per-worker prefetch depth for -store runs (0 = 2); -flow auto adapts it per iteration from the measured I/O wait")
@@ -63,6 +68,11 @@ func main() {
 	flag.Parse()
 
 	cfg := everythinggraph.Config{Workers: *workers, GridP: *gridP, GridLevels: *gridLvls, MemoryBudget: *memBudget << 20, PrefetchDepth: *prefetch}
+	if *leaseN > 0 {
+		lease := everythinggraph.NewLease(*leaseN)
+		defer lease.Release()
+		cfg.Lease = lease
+	}
 	var err error
 	if cfg.Layout, err = parseLayout(*layoutF); err != nil {
 		fatal(err)
@@ -81,6 +91,20 @@ func main() {
 		// generation, loading or pre-processing.
 		if err := everythinggraph.ValidateTechniques(cfg.Layout, cfg.Flow, cfg.Sync); err != nil {
 			fatal(err)
+		}
+	}
+	batchSources, err := parseSources(*sourcesF)
+	if err != nil {
+		fatal(err)
+	}
+	if len(batchSources) > 0 {
+		// Fail fast, like the technique validation above: batching merges
+		// identical sweeps, which only the traversal algorithms have.
+		if *algorithm != "bfs" && *algorithm != "sssp" {
+			fatal(fmt.Errorf("-sources batches identical traversals; it requires -algorithm bfs or sssp (got %q)", *algorithm))
+		}
+		if *storePath != "" {
+			fatal(fmt.Errorf("-sources runs batches in memory; it cannot be combined with -store"))
 		}
 	}
 
@@ -108,6 +132,13 @@ func main() {
 	g, users, err := buildGraph(*input, *format, *directed, *generate, *scale, *seed)
 	if err != nil {
 		fatal(err)
+	}
+
+	if len(batchSources) > 0 {
+		results := runBatch(g, *algorithm, batchSources, cfg, *verbose)
+		writeTraceOutputs(cfg.Trace, *traceOut, *metricsO)
+		saveCostMeasurements(cache, *costCache, graphKey, results[0].Run.PlanCosts)
+		return
 	}
 
 	alg, err := makeAlgorithm(*algorithm, everythinggraph.VertexID(*source), *prIters, users, g)
@@ -205,6 +236,68 @@ func saveCostMeasurements(cache *costcache.File, path, graphKey string, costs ma
 	}
 	fmt.Printf("cost cache: recorded %d measured plan costs for %s\n", len(costs), graphKey)
 }
+
+// parseSources parses the -sources list into vertex ids.
+func parseSources(s string) ([]everythinggraph.VertexID, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]everythinggraph.VertexID, 0, len(parts))
+	for _, p := range parts {
+		p = strings.TrimSpace(p)
+		v, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("invalid source %q in -sources", p)
+		}
+		out = append(out, everythinggraph.VertexID(v))
+	}
+	return out, nil
+}
+
+// runBatch answers the -sources queries in one batched multi-source run and
+// prints a per-batch summary (per-source lines with -v).
+func runBatch(g *everythinggraph.Graph, algorithm string, sources []everythinggraph.VertexID, cfg everythinggraph.Config, verbose bool) []everythinggraph.BatchSourceResult {
+	kind := everythinggraph.BatchBFS
+	if algorithm == "sssp" {
+		kind = everythinggraph.BatchSSSP
+	}
+	results, err := g.Batch(kind, sources, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	groups := (len(sources) + 63) / 64
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	fmt.Printf("configuration: layout=%v flow=%v sync=%v prep=%v\n", cfg.Layout, cfg.Flow, cfg.Sync, cfg.Prep)
+	fmt.Printf("batch: %s over %d sources in %d bit-parallel group(s)\n", algorithm, len(sources), groups)
+	if cfg.Flow == everythinggraph.FlowAuto {
+		fmt.Printf("plan trace: %s\n", metrics.CompressPlanTrace(results[0].Run.PlanTrace()))
+	}
+	totalReached := 0
+	for _, r := range results {
+		reached := 0
+		for v := range r.Level {
+			if r.Level[v] >= 0 {
+				reached++
+			}
+		}
+		for v := range r.Dist {
+			if !isInf32(r.Dist[v]) {
+				reached++
+			}
+		}
+		totalReached += reached
+		if verbose {
+			fmt.Printf("  source %9d: reached %d\n", r.Source, reached)
+		}
+	}
+	fmt.Printf("result: %.1f vertices reached per source (avg over %d sources)\n",
+		float64(totalReached)/float64(len(sources)), len(sources))
+	return results
+}
+
+func isInf32(f float32) bool { return math.IsInf(float64(f), 1) }
 
 // runStore executes an algorithm out-of-core over a partitioned grid store.
 func runStore(path, algorithm string, cfg everythinggraph.Config, device string, source everythinggraph.VertexID, prIters int, verbose bool) *everythinggraph.Result {

@@ -40,6 +40,7 @@ import (
 	"github.com/epfl-repro/everythinggraph/internal/metrics"
 	"github.com/epfl-repro/everythinggraph/internal/oocore"
 	"github.com/epfl-repro/everythinggraph/internal/prep"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
 	"github.com/epfl-repro/everythinggraph/internal/storage"
 	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
@@ -290,6 +291,11 @@ type Config struct {
 	// costs from an earlier run (see Result.Run.PlanCosts and
 	// internal/costcache); static flows reject it.
 	CostPriors map[string]float64
+	// Lease pins the run to a reserved subset of the shared worker pool
+	// (see NewLease), so several runs execute truly concurrently instead
+	// of interleaving on the global gang loop. Workers is clamped to the
+	// lease's size. nil (the default) runs on the shared pool.
+	Lease *Lease
 	// Trace attaches a run recorder (see NewTraceRecorder): the engine,
 	// planners, scheduler and — on Store runs — the fetcher pipeline record
 	// iteration spans, planner decisions and I/O events into it, and
@@ -440,6 +446,7 @@ func (g *Graph) Run(alg Algorithm, cfg Config) (*Result, error) {
 		MaxIterations:   cfg.MaxIterations,
 		RecordFrontiers: cfg.RecordFrontiers,
 		CostPriors:      cfg.CostPriors,
+		Lease:           cfg.Lease,
 		Trace:           cfg.Trace,
 	}
 	res, err := core.Run(g.g, alg, engineCfg)
@@ -595,6 +602,7 @@ func (st *Store) Run(alg Algorithm, cfg Config) (*Result, error) {
 		MemoryBudget:    cfg.MemoryBudget,
 		PrefetchDepth:   cfg.PrefetchDepth,
 		CostPriors:      cfg.CostPriors,
+		Lease:           cfg.Lease,
 		Trace:           cfg.Trace,
 	}
 	before := st.s.Stats()
@@ -615,6 +623,61 @@ func (st *Store) Run(alg Algorithm, cfg Config) (*Result, error) {
 	return &Result{Breakdown: bd, Run: res}, nil
 }
 
+// Lease is a reserved subset of the shared worker pool. Runs configured
+// with a lease (Config.Lease) execute on exactly that subset with their own
+// gang-loop state, so two leased runs — in-memory or streamed, even over one
+// open Store — proceed concurrently instead of serializing on the global
+// loop. Release it when done; a released lease's workers rejoin the shared
+// pool.
+type Lease = sched.Lease
+
+// NewLease reserves up to n workers of the shared pool (the caller's
+// goroutine always participates, so a lease never computes with fewer than
+// one worker; when the pool is fully subscribed the lease may hold fewer
+// than n). Always pair with Release.
+func NewLease(n int) *Lease { return sched.DefaultPool().Lease(n) }
+
+// BatchKind selects which algorithm a Batch call runs.
+type BatchKind = core.BatchKind
+
+// Batch kinds.
+const (
+	// BatchBFS batches breadth-first traversals.
+	BatchBFS = core.BatchBFS
+	// BatchSSSP batches single-source shortest-path computations.
+	BatchSSSP = core.BatchSSSP
+)
+
+// BatchSourceResult is one source's share of a batched multi-source run.
+type BatchSourceResult = core.BatchSourceResult
+
+// Batch answers many same-algorithm queries in one go: sources are packed
+// into bit-parallel multi-source sweeps of up to 64 roots (MS-BFS style —
+// one traversal visits each edge once for all roots of its group), and when
+// several groups are needed they run concurrently on worker-pool leases
+// sized by the planner's measured costs. Results are fanned back out
+// per source. cfg follows Run semantics; cfg.Workers bounds the combined
+// worker count across groups.
+func (g *Graph) Batch(kind BatchKind, sources []VertexID, cfg Config) ([]BatchSourceResult, error) {
+	if _, err := g.Prepare(cfg); err != nil {
+		return nil, err
+	}
+	engineCfg := core.Config{
+		Layout:          cfg.Layout,
+		Flow:            cfg.Flow,
+		Sync:            cfg.Sync,
+		Workers:         cfg.Workers,
+		PushPullAlpha:   cfg.PushPullAlpha,
+		GridLevels:      cfg.GridLevels,
+		MaxIterations:   cfg.MaxIterations,
+		RecordFrontiers: cfg.RecordFrontiers,
+		CostPriors:      cfg.CostPriors,
+		Lease:           cfg.Lease,
+		Trace:           cfg.Trace,
+	}
+	return core.Batch(g.g, kind, sources, engineCfg)
+}
+
 // Algorithm constructors.
 
 // BFS returns a breadth-first search rooted at source.
@@ -629,6 +692,16 @@ func WCC() *algorithms.WCC { return algorithms.NewWCC() }
 
 // SSSP returns a single-source shortest-paths computation rooted at source.
 func SSSP(source VertexID) *algorithms.SSSP { return algorithms.NewSSSP(source) }
+
+// MultiBFS returns a bit-parallel batched BFS answering up to 64 sources in
+// one traversal (MS-BFS): per-vertex source bitmaps ride each edge visit, so
+// the sweep costs one scan for the whole batch. Use Graph.Batch for
+// arbitrarily many sources.
+func MultiBFS(sources []VertexID) *algorithms.MultiBFS { return algorithms.NewMultiBFS(sources) }
+
+// MultiSSSP returns a bit-parallel batched Bellman-Ford answering up to 64
+// sources in one sweep; see MultiBFS.
+func MultiSSSP(sources []VertexID) *algorithms.MultiSSSP { return algorithms.NewMultiSSSP(sources) }
 
 // SpMV returns a sparse matrix-vector multiplication with an all-ones input
 // vector.

@@ -27,11 +27,16 @@ type PageRank struct {
 	presetDeg []uint32 // degrees supplied by a streamed engine (see SetOutDegrees)
 	base      float64  // (1-Damping)/n, read by afterBody
 	workers   int      // hook parallelism (0 = all CPUs), set by the engine
+	// pfor is the engine-supplied loop executor (the run's lease for leased
+	// runs); nil falls back to the process-wide pool.
+	pfor func(begin, end, chunk, p int, body func(worker, lo, hi int))
 
 	// Loop bodies bound once in Init so the per-iteration hooks allocate
 	// nothing in steady state.
-	beforeBody func(lo, hi int)
-	afterBody  func(lo, hi int)
+	beforeBody  func(lo, hi int)
+	afterBody   func(lo, hi int)
+	beforeBodyW func(worker, lo, hi int)
+	afterBodyW  func(worker, lo, hi int)
 }
 
 // hookChunk is the chunk size of the Before/AfterIteration vertex sweeps:
@@ -49,6 +54,13 @@ func (pr *PageRank) Name() string { return "pagerank" }
 // per-iteration sweeps honour the run's configured worker count so
 // worker-scaling experiments measure what they claim to.
 func (pr *PageRank) SetWorkers(p int) { pr.workers = p }
+
+// SetParallelFor implements the engine's ParallelBound extension: the hook
+// sweeps run on the executor the engine hands over — a lease's loops for
+// leased runs — instead of always escaping to the process-wide pool.
+func (pr *PageRank) SetParallelFor(pfor func(begin, end, chunk, p int, body func(worker, lo, hi int))) {
+	pr.pfor = pfor
+}
 
 // SetOutDegrees supplies the per-vertex out-degree table ahead of Init, for
 // out-of-core execution where no resident edge array exists to derive it
@@ -105,6 +117,8 @@ func (pr *PageRank) Init(g *graph.Graph) {
 			pr.Rank[v] = pr.base + pr.Damping*loadFloat64(&pr.acc[v])
 		}
 	}
+	pr.beforeBodyW = func(_, lo, hi int) { pr.beforeBody(lo, hi) }
+	pr.afterBodyW = func(_, lo, hi int) { pr.afterBody(lo, hi) }
 }
 
 // InitialFrontier implements Algorithm.
@@ -118,6 +132,10 @@ func (pr *PageRank) InitialFrontier(g *graph.Graph) *graph.Frontier {
 // of processing order. The sweep is vertex-parallel; every vertex is written
 // independently, so the parallel result is identical to the serial one.
 func (pr *PageRank) BeforeIteration(int) {
+	if pr.pfor != nil {
+		pr.pfor(0, pr.n, hookChunk, pr.workers, pr.beforeBodyW)
+		return
+	}
 	sched.ParallelForChunked(0, pr.n, hookChunk, pr.workers, pr.beforeBody)
 }
 
@@ -125,7 +143,11 @@ func (pr *PageRank) BeforeIteration(int) {
 // after the fixed iteration count. Vertex-parallel like BeforeIteration.
 func (pr *PageRank) AfterIteration(iteration int) bool {
 	pr.base = (1 - pr.Damping) / float64(pr.n)
-	sched.ParallelForChunked(0, pr.n, hookChunk, pr.workers, pr.afterBody)
+	if pr.pfor != nil {
+		pr.pfor(0, pr.n, hookChunk, pr.workers, pr.afterBodyW)
+	} else {
+		sched.ParallelForChunked(0, pr.n, hookChunk, pr.workers, pr.afterBody)
+	}
 	return iteration+1 >= pr.Iterations
 }
 

@@ -21,6 +21,7 @@ import (
 	"github.com/epfl-repro/everythinggraph/internal/metrics"
 	"github.com/epfl-repro/everythinggraph/internal/oocore"
 	"github.com/epfl-repro/everythinggraph/internal/prep"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
 	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
 
@@ -236,6 +237,18 @@ func autoConfig(workers int, priors map[string]float64) core.Config {
 	return core.Config{Flow: core.Auto, Workers: workers, CostPriors: priors}
 }
 
+// multiSourceRoots picks 64 deterministic, spread-out roots for the
+// multi-source cases (one full mask word — the width the batched-vs-
+// sequential comparison is archived at).
+func multiSourceRoots(g *graph.Graph) []graph.VertexID {
+	n := g.NumVertices()
+	roots := make([]graph.VertexID, graph.MaxMultiWidth)
+	for i := range roots {
+		roots[i] = graph.VertexID((i*2654435761 + 1) % n)
+	}
+	return roots
+}
+
 // measure runs fn under testing.Benchmark and converts the result. A
 // failed benchmark (b.Fatal inside fn) yields a zero BenchmarkResult from
 // testing.Benchmark; that must surface as an error, not be archived as an
@@ -445,6 +458,64 @@ func RunPerf(scale Scale) (*PerfReport, error) {
 				if _, err := core.Run(g, algorithms.NewBFS(0), autoBFS); err != nil {
 					b.Fatal(err)
 				}
+			}
+		}},
+		{"bfs_rmat_multisource", func(b *testing.B) {
+			// One batched MS-BFS sweep answering 64 sources: per-edge work
+			// is a handful of mask-word operations for the whole batch, so
+			// ns per (source x edge) — NsPerOp/64 against
+			// bfs_rmat_push_atomics — must come out >= 4x cheaper than 64
+			// sequential runs. That ratio is the archived acceptance
+			// criterion of the multi-source batching layer.
+			roots := multiSourceRoots(g)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(g, algorithms.NewMultiBFS(roots), pushAtomics); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"bfs_rmat_multisource_iter", func(b *testing.B) {
+			// Steady-state multi-source sweeps via the fixed-sweep mode
+			// (level-synchronous full scans, the PageRank Iterations=b.N
+			// idiom): per-iteration mask updates and the AfterIteration
+			// retire sweep must hold the zero-allocation contract.
+			mb := algorithms.NewMultiBFS(multiSourceRoots(g))
+			mb.Sweeps = b.N
+			b.ReportAllocs()
+			if _, err := core.Run(g, mb, pushAtomics); err != nil {
+				b.Fatal(err)
+			}
+		}},
+		{"bfs_rmat_multisource_auto", func(b *testing.B) {
+			// The batched sweep under the adaptive planner: multi-source
+			// runs are their own cost population (the x64 plan-label
+			// suffix), so the planner prices the denser union frontier
+			// without polluting single-source BFS entries.
+			roots := multiSourceRoots(g)
+			autoMulti := autoConfig(workers, camp.priors("multi-bfs"))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(g, algorithms.NewMultiBFS(roots), autoMulti); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"pagerank_rmat_leased_iter", func(b *testing.B) {
+			// The push_atomics_iter case executed on a worker-pool lease:
+			// steady-state leased iterations (lease gang loops, per-lease
+			// counters) must match the shared-pool cost and stay
+			// allocation-free. Lease setup is excluded from the clock.
+			lease := sched.DefaultPool().Lease(sched.MaxWorkers())
+			defer lease.Release()
+			cfg := pushAtomics
+			cfg.Lease = lease
+			pr := algorithms.NewPageRank()
+			pr.Iterations = b.N
+			b.ReportAllocs()
+			b.ResetTimer()
+			if _, err := core.Run(g, pr, cfg); err != nil {
+				b.Fatal(err)
 			}
 		}},
 		{"pagerank_rmat_auto_iter", func(b *testing.B) {
@@ -729,6 +800,9 @@ func adaptiveRuns(g, gridG *graph.Graph, src, srcV2 core.Source, workers int, wa
 	})
 	return []adaptiveRun{
 		{"bfs_rmat_auto", "bfs", func() (*core.Result, error) { return core.Run(g, algorithms.NewBFS(0), autoBFS) }},
+		{"bfs_rmat_multisource_auto", "multi-bfs", func() (*core.Result, error) {
+			return core.Run(g, algorithms.NewMultiBFS(multiSourceRoots(g)), autoConfig(workers, camp.priors("multi-bfs")))
+		}},
 		{"pagerank_rmat_auto_iter", "pagerank", func() (*core.Result, error) { return core.Run(g, algorithms.NewPageRank(), autoPR) }},
 		{"pagerank_rmat_streamed_auto", "pagerank", func() (*core.Result, error) {
 			return core.RunStreamed(src, algorithms.NewPageRank(), autoStream)

@@ -14,6 +14,7 @@ import (
 
 	"github.com/epfl-repro/everythinggraph/internal/graph"
 	"github.com/epfl-repro/everythinggraph/internal/metrics"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
 	"github.com/epfl-repro/everythinggraph/internal/trace"
 )
 
@@ -165,6 +166,16 @@ type Config struct {
 	// the matching export and internal/costcache for the on-disk cache.
 	// Only Flow == Auto reads it; setting it on a static flow is rejected.
 	CostPriors map[string]float64
+	// Lease dedicates a carved-out subset of the process-wide worker pool to
+	// this run (see sched.Pool.Lease): every parallel loop of the run — and,
+	// on streamed runs, its stream-buffer pool — executes on the lease's
+	// workers only, so two leased runs proceed truly concurrently instead of
+	// serializing on the shared pool's single gang-loop slot. The lease bounds
+	// the run's parallelism (Workers is additionally honoured below it), and
+	// per-run scratch is sized to the lease. The caller owns the lease's
+	// lifecycle: Release it after the run (or runs) it serves. nil (the
+	// default) runs on the shared pool exactly as before.
+	Lease *sched.Lease
 	// Trace attaches a run-scoped trace recorder. When non-nil, the engine,
 	// the planners, the I/O controller and the out-of-core fetcher pipeline
 	// record iteration spans, planner decisions and fetch/stall spans into

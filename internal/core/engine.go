@@ -28,10 +28,7 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	if err := cfg.Validate(g); err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = sched.MaxWorkers()
-	}
+	workers := resolveWorkers(cfg)
 	alpha := cfg.PushPullAlpha
 	if alpha <= 0 {
 		alpha = DefaultPushPullAlpha
@@ -46,6 +43,9 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	if wb, ok := alg.(WorkerBound); ok {
 		wb.SetWorkers(workers)
 	}
+	if pb, ok := alg.(ParallelBound); ok {
+		pb.SetParallelFor(r.pfor)
+	}
 	alg.Init(g)
 	frontier := alg.InitialFrontier(g)
 	res := &Result{Algorithm: alg.Name()}
@@ -53,10 +53,11 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 	rec := cfg.Trace
 	var labeler *planLabeler
 	var schedBefore sched.PoolCounters
+	schedCounters := schedCountersFn(cfg)
 	if rec != nil {
 		rec.SetNumVertices(g.NumVertices())
 		labeler = newPlanLabeler(rec)
-		schedBefore = sched.DefaultCounters()
+		schedBefore = schedCounters()
 	}
 
 	start := time.Now()
@@ -109,9 +110,46 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 		res.PlanCosts = ap.measuredCosts()
 	}
 	if rec != nil {
-		finishRunTrace(rec, res, schedBefore, nil)
+		finishRunTrace(rec, res, schedCounters().Sub(schedBefore), nil)
 	}
 	return res, nil
+}
+
+// resolveWorkers resolves a run's degree of parallelism: the configured
+// count (0 = all CPUs), additionally bounded by the lease's width when the
+// run executes on a lease — per-worker scratch is sized to this, and leased
+// loops hand out dense worker ids below it.
+func resolveWorkers(cfg Config) int {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = sched.MaxWorkers()
+	}
+	if cfg.Lease != nil {
+		if lw := cfg.Lease.Workers(); lw < workers {
+			workers = lw
+		}
+	}
+	return workers
+}
+
+// schedCountersFn returns the counter source a traced run diffs around
+// itself: the lease's own gang counters for leased runs (concurrent leased
+// runs must not read each other's loops), the process-wide pool otherwise.
+func schedCountersFn(cfg Config) func() sched.PoolCounters {
+	if cfg.Lease != nil {
+		return cfg.Lease.Counters
+	}
+	return sched.DefaultCounters
+}
+
+// parallelFor returns the run's parallel-loop executor: the lease-scoped one
+// when the run holds a lease, the process-wide pool's otherwise. Bound once
+// per run so the per-iteration paths stay allocation-free.
+func parallelFor(cfg Config) func(begin, end, chunk, p int, body func(worker, lo, hi int)) {
+	if cfg.Lease != nil {
+		return cfg.Lease.ParallelForWorker
+	}
+	return sched.ParallelForWorker
 }
 
 // paddedSum is a per-worker accumulator spaced a cache line apart from its
@@ -137,6 +175,10 @@ type runner struct {
 	workers int
 	locks   *vertexLocks
 	track   bool // build the next frontier (false for dense algorithms)
+	// pfor executes the run's parallel loops: lease-scoped for leased runs,
+	// the process-wide pool otherwise. Bound once here so the iteration
+	// paths never re-resolve it.
+	pfor func(begin, end, chunk, p int, body func(worker, lo, hi int))
 
 	out *graph.Adjacency // push adjacency (nil if not built)
 	in  *graph.Adjacency // pull adjacency (nil if not built)
@@ -210,6 +252,7 @@ func newRunner(g *graph.Graph, alg Algorithm, cfg Config, workers int) *runner {
 		workers: workers,
 		track:   !alg.Dense(),
 		out:     g.Out,
+		pfor:    parallelFor(cfg),
 	}
 	if cfg.Sync == SyncLocks && cfg.Flow != Auto {
 		// Auto never plans locks (and SyncLocks is the zero SyncMode, so a
@@ -419,7 +462,7 @@ func (r *runner) activeOutEdges(f *graph.Frontier) int64 {
 		r.degSums[i].v = 0
 	}
 	r.active = f.Sparse()
-	sched.ParallelForWorker(0, len(r.active), 2048, r.workers, r.degBody)
+	r.pfor(0, len(r.active), 2048, r.workers, r.degBody)
 	var total int64
 	for i := range r.degSums {
 		total += r.degSums[i].v

@@ -116,7 +116,7 @@ func (r *runner) vertexPush(frontier *graph.Frontier) *graph.Frontier {
 	// degree-walk path.
 	identity := frontier.IsDense() && len(r.active) == r.out.NumVertices
 	starts := r.buildPushChunks(r.active, r.out, identity)
-	sched.ParallelForWorker(0, len(starts)-1, 1, r.workers, r.pushChunksBody)
+	r.pfor(0, len(starts)-1, 1, r.workers, r.pushChunksBody)
 	if b == nil {
 		return nil
 	}
@@ -208,7 +208,7 @@ func (r *runner) pushSpanPlainDense(_, lo, hi int) {
 func (r *runner) vertexPull(frontier *graph.Frontier) *graph.Frontier {
 	r.bits = frontier.Bitmap()
 	b := r.nextBuilder()
-	sched.ParallelForWorker(0, r.g.NumVertices(), pullVertexChunk, r.workers, r.pullSpan)
+	r.pfor(0, r.g.NumVertices(), pullVertexChunk, r.workers, r.pullSpan)
 	if b == nil {
 		return nil
 	}
@@ -276,7 +276,7 @@ func (r *runner) pullSpanDense(_, lo, hi int) {
 func (r *runner) edgeCentric(frontier *graph.Frontier) *graph.Frontier {
 	r.bits = frontier.Bitmap()
 	b := r.nextBuilder()
-	sched.ParallelForWorker(0, len(r.g.EdgeArray.Edges), sched.DefaultChunkSize, r.workers, r.edgeSpan)
+	r.pfor(0, len(r.g.EdgeArray.Edges), sched.DefaultChunkSize, r.workers, r.edgeSpan)
 	if b == nil {
 		return nil
 	}
@@ -414,10 +414,10 @@ func (r *runner) gridStep(frontier *graph.Frontier, plan StepPlan) *graph.Fronti
 	if plan.Sync == SyncPartitionFree {
 		// Column ownership: worker processes every span of its (level)
 		// columns.
-		sched.ParallelForWorker(0, r.level.P, 1, r.workers, r.gridOwnedBody)
+		r.pfor(0, r.level.P, 1, r.workers, r.gridOwnedBody)
 	} else {
 		// Cell-parallel with synchronized updates, over the level's cells.
-		sched.ParallelForWorker(0, r.level.P*r.level.P, 4, r.workers, r.gridCellsBody)
+		r.pfor(0, r.level.P*r.level.P, 4, r.workers, r.gridCellsBody)
 	}
 	if b == nil {
 		return nil
@@ -474,10 +474,10 @@ func (r *runner) compressedStep(frontier *graph.Frontier, plan StepPlan) *graph.
 	if plan.Sync == SyncPartitionFree {
 		// Column ownership: a worker decodes and applies every cell of its
 		// columns in ascending row order.
-		sched.ParallelForWorker(0, r.comp.P, 1, r.workers, r.compOwnedBody)
+		r.pfor(0, r.comp.P, 1, r.workers, r.compOwnedBody)
 	} else {
 		// Cell-parallel with synchronized updates.
-		sched.ParallelForWorker(0, r.comp.P*r.comp.P, 4, r.workers, r.compCellsBody)
+		r.pfor(0, r.comp.P*r.comp.P, 4, r.workers, r.compCellsBody)
 	}
 	if b == nil {
 		return nil

@@ -46,6 +46,14 @@ type StepPlan struct {
 	// byte costs, and keeping them apart stops persisted cost entries from
 	// cross-seeding across formats.
 	StreamFormat int
+	// Multi is the source-batch width of a multi-source sweep (see
+	// algorithms.MultiBFS): the iteration advances Multi frontiers through
+	// one edge scan. 0 (and 1) mean an ordinary single-source run. It is part
+	// of the plan's identity and its label ("×<k>" suffix): a batched sweep
+	// does k sources' work per scanned edge, so its ns/edge is a different
+	// quantity than the single-source kernel's and the two must never
+	// cross-seed in the cost model or the persisted cache.
+	Multi int
 	// IO is the I/O dimension of a streamed iteration: how deep each worker
 	// prefetches and how much resident buffer memory the pass may use. It is
 	// the zero IOPlan for in-memory iterations.
@@ -109,10 +117,14 @@ func (p StepPlan) String() string {
 			layout = fmt.Sprintf("%s/%d", layout, p.GridLevel)
 		}
 	}
-	if p.IO.PrefetchDepth > 0 {
-		return fmt.Sprintf("%s/%v/%v%v", layout, p.Flow, p.Sync, p.IO)
+	var multi string
+	if p.Multi > 1 {
+		multi = fmt.Sprintf("×%d", p.Multi)
 	}
-	return fmt.Sprintf("%s/%v/%v", layout, p.Flow, p.Sync)
+	if p.IO.PrefetchDepth > 0 {
+		return fmt.Sprintf("%s/%v/%v%s%v", layout, p.Flow, p.Sync, multi, p.IO)
+	}
+	return fmt.Sprintf("%s/%v/%v%s", layout, p.Flow, p.Sync, multi)
 }
 
 // key returns the plan with its I/O dimension cleared — the identity used to
@@ -157,6 +169,10 @@ type plannerEnv struct {
 	// and streamed runs), in which case planners fall back to the
 	// active-vertex-count heuristic.
 	activeOutEdges func(*graph.Frontier) int64
+	// multi is the run's source-batch width (see StepPlan.Multi): stamped on
+	// every plan the planners emit so labels and cost entries carry it. 0
+	// for ordinary single-source runs.
+	multi int
 }
 
 // overThreshold applies the direction-optimizing test shared by every
@@ -211,7 +227,7 @@ func newFixedPlanner(env plannerEnv, layout graph.Layout, flow Flow, sync SyncMo
 	}
 	p := &fixedPlanner{
 		env:  env,
-		plan: StepPlan{Layout: layout, Flow: resolved, Sync: sync, Tracked: env.tracked, GridLevel: gridP, StreamFormat: streamFormat},
+		plan: StepPlan{Layout: layout, Flow: resolved, Sync: sync, Tracked: env.tracked, GridLevel: gridP, StreamFormat: streamFormat, Multi: env.multi},
 		flow: flow,
 		rec:  rec,
 	}
@@ -664,6 +680,12 @@ type adaptivePlanner struct {
 }
 
 func newAdaptivePlanner(env plannerEnv, candidates []planCandidate, priors map[string]float64, rec *trace.Recorder) *adaptivePlanner {
+	// The batch width is a property of the run, not of any one candidate:
+	// stamp it across the set so labels, cost entries and Observe's key
+	// matching all carry it.
+	for i := range candidates {
+		candidates[i].plan.Multi = env.multi
+	}
 	p := &adaptivePlanner{
 		env:        env,
 		candidates: candidates,
@@ -901,6 +923,7 @@ func newPlanner(g *graph.Graph, cfg Config, r *runner, alpha int, workers int, t
 		totalEdges:  residentScanEdges(g),
 		alpha:       alpha,
 		tracked:     tracked,
+		multi:       multiSourceWidth(r.alg),
 	}
 	if g.Out != nil {
 		env.activeOutEdges = r.activeOutEdges
@@ -1149,12 +1172,13 @@ func streamLevelPrior(base float64, lv StreamLevelInfo, workers int, totalEdges 
 // values; Flow == Auto enumerates one push/pull candidate pair per admitted
 // level, costed by streamLevelPrior and refined by measured ns/edge, with
 // the I/O knobs moved online from the measured IOWait breakdown.
-func newStreamPlanner(src Source, cfg Config, workers int, budgetCap int64, alpha int, tracked bool) planner {
+func newStreamPlanner(src Source, cfg Config, workers int, budgetCap int64, alpha int, tracked bool, multi int) planner {
 	env := plannerEnv{
 		numVertices: src.NumVertices(),
 		totalEdges:  src.NumEdges(),
 		alpha:       alpha,
 		tracked:     tracked,
+		multi:       multi,
 		// No resident out index: the count heuristic decides direction.
 	}
 	// Compressed (v2) stores label and cost their plans as "compressed/<P>";

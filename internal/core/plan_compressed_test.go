@@ -271,7 +271,7 @@ func TestAdaptivePlannerSwitchesOffMispredictedCompressed(t *testing.T) {
 // cost-cache keys never conflate the two storage formats.
 func TestStreamPlannerLabelsCompressedSource(t *testing.T) {
 	src := &fakeSource{n: 64, compressed: true}
-	pl := newStreamPlanner(src, Config{Flow: Push}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true)
+	pl := newStreamPlanner(src, Config{Flow: Push}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true, 0)
 	plan := pl.Next(0, graph.NewFrontier(64))
 	if plan.Layout != graph.LayoutGridCompressed {
 		t.Fatalf("fixed stream plan over a compressed source has layout %v", plan.Layout)
@@ -279,7 +279,7 @@ func TestStreamPlannerLabelsCompressedSource(t *testing.T) {
 	if want := "compressed/1@s2/push/no-lock"; !strings.HasPrefix(plan.String(), want) {
 		t.Fatalf("fixed stream plan labeled %q, want prefix %q", plan.String(), want)
 	}
-	pl = newStreamPlanner(src, Config{Flow: Auto}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true)
+	pl = newStreamPlanner(src, Config{Flow: Auto}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true, 0)
 	ap := pl.(*adaptivePlanner)
 	for _, c := range ap.candidates {
 		if c.plan.Layout != graph.LayoutGridCompressed {
@@ -288,7 +288,7 @@ func TestStreamPlannerLabelsCompressedSource(t *testing.T) {
 	}
 	// An uncompressed source keeps the exact pre-v2 labels.
 	plain := &fakeSource{n: 64}
-	plan = newStreamPlanner(plain, Config{Flow: Push}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true).Next(0, graph.NewFrontier(64))
+	plan = newStreamPlanner(plain, Config{Flow: Push}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true, 0).Next(0, graph.NewFrontier(64))
 	if want := "grid/1@s1/push/no-lock"; !strings.HasPrefix(plan.String(), want) {
 		t.Fatalf("v1 stream plan labeled %q, want prefix %q", plan.String(), want)
 	}

@@ -38,7 +38,7 @@ func overPartitionedSource(n int) *fakeLevelerSource {
 func TestStreamAutoEnumeratesLadderLevels(t *testing.T) {
 	src := overPartitionedSource(1 << 12)
 	src.edges = []graph.Edge{{Src: 0, Dst: 1}}
-	pl := newStreamPlanner(src, Config{Flow: Auto}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true)
+	pl := newStreamPlanner(src, Config{Flow: Auto}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true, 0)
 	ap := pl.(*adaptivePlanner)
 	seen := map[int]bool{}
 	for _, c := range ap.candidates {
@@ -55,7 +55,7 @@ func TestStreamAutoEnumeratesLadderLevels(t *testing.T) {
 
 	// GridLevels bounds the policy to the finest N rungs, streamed like
 	// in-memory.
-	pl = newStreamPlanner(src, Config{Flow: Auto, GridLevels: 2}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true)
+	pl = newStreamPlanner(src, Config{Flow: Auto, GridLevels: 2}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true, 0)
 	for _, c := range pl.(*adaptivePlanner).candidates {
 		if c.plan.GridLevel == 8 {
 			t.Fatalf("GridLevels=2 still enumerated rung P=8: %v", c.plan)
@@ -66,7 +66,7 @@ func TestStreamAutoEnumeratesLadderLevels(t *testing.T) {
 func TestStreamAutoPrefersCoarseOnOverPartitionedStore(t *testing.T) {
 	src := overPartitionedSource(1 << 12)
 	src.edges = []graph.Edge{{Src: 0, Dst: 1}}
-	pl := newStreamPlanner(src, Config{Flow: Auto}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true)
+	pl := newStreamPlanner(src, Config{Flow: Auto}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true, 0)
 	plan := pl.Next(0, graph.NewFrontier(src.n))
 	if plan.GridLevel >= 256 {
 		t.Fatalf("planner opened at the fragmented finest level: %v", plan)
@@ -77,7 +77,7 @@ func TestStreamStaticGridLevelsPinsRung(t *testing.T) {
 	src := overPartitionedSource(1 << 12)
 	src.edges = []graph.Edge{{Src: 0, Dst: 1}}
 	for rung, wantP := range map[int]int{1: 256, 2: 64, 3: 8, 9: 8} {
-		pl := newStreamPlanner(src, Config{Flow: Push, GridLevels: rung}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true)
+		pl := newStreamPlanner(src, Config{Flow: Push, GridLevels: rung}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true, 0)
 		plan := pl.Next(0, graph.NewFrontier(src.n))
 		if plan.GridLevel != wantP {
 			t.Fatalf("GridLevels=%d pinned level %d, want %d", rung, plan.GridLevel, wantP)
@@ -94,12 +94,12 @@ func TestStreamStaticGridLevelsPinsRung(t *testing.T) {
 func TestStreamCostPriorsRespectFormatProvenance(t *testing.T) {
 	src := &fakeSource{n: 64, compressed: true, edges: []graph.Edge{{Src: 0, Dst: 1}}}
 	stale := map[string]float64{"grid/1@s1/push/no-lock": 0.5, "compressed/1@s1/push/no-lock": 0.5}
-	pl := newStreamPlanner(src, Config{Flow: Auto, CostPriors: stale}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true)
+	pl := newStreamPlanner(src, Config{Flow: Auto, CostPriors: stale}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true, 0)
 	if costs := pl.(*adaptivePlanner).measuredCosts(); costs != nil {
 		t.Fatalf("v1-provenance priors seeded a v2 store's planner: %v", costs)
 	}
 	fresh := map[string]float64{"compressed/1@s2/push/no-lock": 0.5}
-	pl = newStreamPlanner(src, Config{Flow: Auto, CostPriors: fresh}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true)
+	pl = newStreamPlanner(src, Config{Flow: Auto, CostPriors: fresh}, 1, DefaultStreamMemoryBudget, DefaultPushPullAlpha, true, 0)
 	costs := pl.(*adaptivePlanner).measuredCosts()
 	if costs["compressed/1@s2/push/no-lock"] != 0.5 {
 		t.Fatalf("matching-provenance prior was not seeded: %v", costs)

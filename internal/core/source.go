@@ -45,6 +45,13 @@ type StreamOptions struct {
 	// or the source's own GridP — streams at the stored resolution. Sources
 	// without virtual levels ignore it.
 	GridLevel int
+	// Lease, when non-nil, runs the pass's compute workers on the lease
+	// instead of the process-wide pool, and keys the source's recycled
+	// stream-buffer pool by it: concurrent leased passes on one open source
+	// share the file handle and cell index but not the arenas, so they
+	// overlap instead of serializing. nil keeps the source's single shared
+	// pool (and its pass-at-a-time serialization).
+	Lease *sched.Lease
 	// Trace, when non-nil, receives fetch (read/decode) spans from the
 	// source's prefetch pipeline and stall spans from its compute workers
 	// for this pass. Sources without internal instrumentation may ignore it.
@@ -176,10 +183,7 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	if err := cfg.validateAlpha(); err != nil {
 		return nil, err
 	}
-	workers := cfg.Workers
-	if workers <= 0 {
-		workers = sched.MaxWorkers()
-	}
+	workers := resolveWorkers(cfg)
 	alpha := cfg.PushPullAlpha
 	if alpha <= 0 {
 		alpha = DefaultPushPullAlpha
@@ -197,6 +201,9 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	if wb, ok := alg.(WorkerBound); ok {
 		wb.SetWorkers(workers)
 	}
+	if pb, ok := alg.(ParallelBound); ok {
+		pb.SetParallelFor(parallelFor(cfg))
+	}
 	alg.Init(shim)
 	frontier := alg.InitialFrontier(shim)
 	res := &Result{Algorithm: alg.Name()}
@@ -209,16 +216,17 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	if budgetCap <= 0 {
 		budgetCap = DefaultStreamMemoryBudget
 	}
-	pl := newStreamPlanner(src, cfg, workers, budgetCap, alpha, !alg.Dense())
+	pl := newStreamPlanner(src, cfg, workers, budgetCap, alpha, !alg.Dense(), multiSourceWidth(alg))
 
 	rec := cfg.Trace
 	var labeler *planLabeler
 	var schedBefore sched.PoolCounters
 	var ioStart SourceStats
+	schedCounters := schedCountersFn(cfg)
 	if rec != nil {
 		rec.SetNumVertices(src.NumVertices())
 		labeler = newPlanLabeler(rec)
-		schedBefore = sched.DefaultCounters()
+		schedBefore = schedCounters()
 		ioStart = src.Stats()
 	}
 
@@ -254,6 +262,7 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 			MemoryBudgetCap: budgetCap,
 			PrefetchDepth:   plan.IO.PrefetchDepth,
 			GridLevel:       plan.GridLevel,
+			Lease:           cfg.Lease,
 			Trace:           rec,
 		}
 
@@ -290,7 +299,7 @@ func RunStreamed(src Source, alg Algorithm, cfg Config) (*Result, error) {
 	}
 	if rec != nil {
 		ioDiff := res.IO.Sub(ioStart)
-		finishRunTrace(rec, res, schedBefore, &ioDiff)
+		finishRunTrace(rec, res, schedCounters().Sub(schedBefore), &ioDiff)
 	}
 	return res, nil
 }

@@ -40,13 +40,13 @@ func (l *planLabeler) emitIteration(iterStart time.Time, stats IterationStats) {
 }
 
 // finishRunTrace folds the run's end-of-run accounting into the recorder —
-// engine totals, the scheduler counters attributable to this run (diffed
-// against the snapshot taken at run start) and, for streamed runs, the
-// source I/O delta — and attaches the resulting snapshot to the result.
-func finishRunTrace(rec *trace.Recorder, res *Result, schedBefore sched.PoolCounters, io *SourceStats) {
+// engine totals, the scheduler counters attributable to this run (already
+// diffed by the caller against its counter source: the run's lease, or the
+// process-wide pool) and, for streamed runs, the source I/O delta — and
+// attaches the resulting snapshot to the result.
+func finishRunTrace(rec *trace.Recorder, res *Result, sc sched.PoolCounters, io *SourceStats) {
 	rec.AddCounter("engine.iterations", int64(res.Iterations))
 	rec.AddCounter("engine.algorithm_ns", res.AlgorithmTime.Nanoseconds())
-	sc := sched.DefaultCounters().Sub(schedBefore)
 	rec.AddCounter("sched.gang_loops", sc.GangLoops)
 	rec.AddCounter("sched.gang_joins", sc.GangJoins)
 	rec.AddCounter("sched.parks", sc.Parks)

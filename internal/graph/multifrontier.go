@@ -1,0 +1,115 @@
+package graph
+
+import "sync/atomic"
+
+// MultiFrontier is the bit-parallel state of a batched multi-source
+// traversal (MS-BFS style): bit s of a vertex's mask word belongs to source
+// s of the batch, so a single |V|-word array carries up to 64 frontiers and
+// one AND/OR combines 64 membership tests. A batched kernel keeps three
+// views per vertex:
+//
+//   - Cur: sources for which the vertex is on the current frontier;
+//   - Next: sources that discovered (or improved) the vertex during the
+//     running iteration;
+//   - Visited: sources that have settled the vertex (monotone traversals
+//     only — label-correcting kernels like SSSP leave it unused).
+//
+// The engine's own Frontier still tracks WHICH vertices are active (the
+// union over sources); the masks record FOR WHOM, which is what lets one
+// edge scan advance the whole batch.
+type MultiFrontier struct {
+	k   int
+	all uint64 // low k bits set: "settled for every source in the batch"
+
+	Cur     []uint64
+	Next    []uint64
+	Visited []uint64
+}
+
+// MaxMultiWidth is the number of sources one batch word carries.
+const MaxMultiWidth = 64
+
+// NewMultiFrontier creates mask state for numVertices vertices and a batch
+// of k sources, 1 <= k <= MaxMultiWidth.
+func NewMultiFrontier(numVertices, k int) *MultiFrontier {
+	if k < 1 || k > MaxMultiWidth {
+		panic("graph: multi-frontier width out of range")
+	}
+	all := ^uint64(0)
+	if k < 64 {
+		all = (uint64(1) << k) - 1
+	}
+	return &MultiFrontier{
+		k:       k,
+		all:     all,
+		Cur:     make([]uint64, numVertices),
+		Next:    make([]uint64, numVertices),
+		Visited: make([]uint64, numVertices),
+	}
+}
+
+// Width returns the batch width k.
+func (m *MultiFrontier) Width() int { return m.k }
+
+// AllMask returns the mask with every source bit set.
+func (m *MultiFrontier) AllMask() uint64 { return m.all }
+
+// Seed puts v on source s's current frontier (iteration-setup only; not
+// safe against a concurrently running edge phase).
+func (m *MultiFrontier) Seed(v VertexID, s int) {
+	m.Cur[v] |= uint64(1) << s
+}
+
+// Pending returns the sources for which v needs no further discovery this
+// iteration (already settled, or already in Next). Exclusive-destination
+// (owned/pull) paths only.
+func (m *MultiFrontier) Pending(v VertexID) uint64 {
+	return m.Visited[v] | m.Next[v]
+}
+
+// PendingAtomic is Pending for concurrent-destination paths: Next is being
+// OR'd into by other workers, so it is read with atomic visibility (Visited
+// only changes between iterations and needs none).
+func (m *MultiFrontier) PendingAtomic(v VertexID) uint64 {
+	return m.Visited[v] | atomic.LoadUint64(&m.Next[v])
+}
+
+// Fresh merges mask into Next[v] assuming exclusive access to v and returns
+// the bits that were newly set.
+func (m *MultiFrontier) Fresh(v VertexID, mask uint64) uint64 {
+	old := m.Next[v]
+	m.Next[v] = old | mask
+	return mask &^ old
+}
+
+// FreshAtomic merges mask into Next[v] with one atomic OR and returns the
+// bits THIS caller set: the hardware RMW flips each bit exactly once, so
+// across every concurrently pushing worker a (vertex, source) pair is
+// claimed by exactly one call — which is what makes a single unsynchronized
+// per-pair payload write (parent, level) race-free.
+func (m *MultiFrontier) FreshAtomic(v VertexID, mask uint64) uint64 {
+	old := atomic.OrUint64(&m.Next[v], mask)
+	return mask &^ old
+}
+
+// AdvanceRange retires the running iteration for vertices [lo, hi): Next
+// becomes Cur, is folded into Visited, and is cleared. Monotone (BFS-like)
+// kernels call it from their AfterIteration sweep; disjoint ranges may
+// advance in parallel.
+func (m *MultiFrontier) AdvanceRange(lo, hi int) {
+	for v := lo; v < hi; v++ {
+		n := m.Next[v]
+		m.Visited[v] |= n
+		m.Cur[v] = n
+		m.Next[v] = 0
+	}
+}
+
+// ShiftRange is AdvanceRange without the Visited fold, for label-correcting
+// kernels (SSSP) whose vertices may re-enter the frontier.
+func (m *MultiFrontier) ShiftRange(lo, hi int) {
+	for v := lo; v < hi; v++ {
+		m.Cur[v] = m.Next[v]
+		m.Next[v] = 0
+	}
+}

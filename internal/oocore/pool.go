@@ -264,15 +264,20 @@ func (s *Store) buildPool(workers int, budgetCap int64) *streamPool {
 	return p
 }
 
-// stopPoolLocked retires the pool's fetchers. Caller holds poolMu, so no
-// pass is in flight.
+// stop retires the pool's fetchers. No pass may be in flight on it.
+func (p *streamPool) stop() {
+	for i := range p.groups {
+		close(p.groups[i].req)
+	}
+}
+
+// stopPoolLocked retires the shared pool's fetchers. Caller holds poolMu,
+// so no shared-pool pass is in flight.
 func (s *Store) stopPoolLocked() {
 	if s.pool == nil {
 		return
 	}
-	for i := range s.pool.groups {
-		close(s.pool.groups[i].req)
-	}
+	s.pool.stop()
 	s.pool = nil
 }
 

@@ -13,6 +13,7 @@ import (
 
 	"github.com/epfl-repro/everythinggraph/internal/core"
 	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
 	"github.com/epfl-repro/everythinggraph/internal/storage"
 )
 
@@ -63,9 +64,14 @@ type Store struct {
 	devOnce     sync.Once
 
 	// pool is the recycled streaming machinery (slot rings, persistent
-	// fetchers); poolMu serializes passes and guards rebuilds. See pool.go.
-	poolMu sync.Mutex
-	pool   *streamPool
+	// fetchers); poolMu serializes shared-pool passes and guards every pool
+	// (re)build. Leased passes do not run under poolMu: each lease owns a
+	// leasePool entry with its own arenas and per-lease pass serialization,
+	// which is what lets two leased runs stream one store concurrently.
+	// See pool.go.
+	poolMu     sync.Mutex
+	pool       *streamPool
+	leasePools map[*sched.Lease]*leasePool
 
 	stats sourceStats
 }
@@ -232,12 +238,19 @@ func readFullAt(r io.ReaderAt, buf []byte, off int64) (int, error) {
 	return n, err
 }
 
-// Close retires the store's streaming pool (its persistent fetcher
-// goroutines park until then) and releases the backing file (no-op for
-// memory backends).
+// Close retires the store's streaming pools — the shared one and every
+// lease-keyed one (their persistent fetcher goroutines park until then) —
+// and releases the backing file (no-op for memory backends). The caller
+// must not close a store with passes still in flight.
 func (s *Store) Close() error {
 	s.poolMu.Lock()
 	s.stopPoolLocked()
+	for l, lp := range s.leasePools {
+		if lp.pool != nil {
+			lp.pool.stop()
+		}
+		delete(s.leasePools, l)
+	}
 	s.poolMu.Unlock()
 	if s.closer != nil {
 		return s.closer.Close()

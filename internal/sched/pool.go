@@ -39,6 +39,14 @@ type Pool struct {
 	loopSeq atomic.Uint64
 	loopD   loopDesc
 
+	// Worker leasing (see Lease). wleases[w] is the lease worker w is
+	// currently dedicated to (nil = serves the global pool); an atomic
+	// pointer so the worker's scheduling loop checks its assignment without
+	// taking mu. leases tracks the active leases so Close can wake their
+	// parked workers.
+	wleases []atomic.Pointer[Lease]
+	leases  []*Lease
+
 	// Lifetime observability counters (see Counters). Atomics rather than
 	// mu-guarded ints so the park/unpark accounting never extends a critical
 	// section; callers diff them around a run.
@@ -198,6 +206,7 @@ func NewPool(p int) *Pool {
 	pool := &Pool{
 		workers: p,
 		deques:  make([]*deque, p),
+		wleases: make([]atomic.Pointer[Lease], p),
 	}
 	pool.cond = sync.NewCond(&pool.mu)
 	for i := range pool.deques {
@@ -262,6 +271,11 @@ func (p *Pool) Close() {
 	p.mu.Lock()
 	p.stopped = true
 	p.cond.Broadcast()
+	// Leased workers park on their lease's condition variable, not the
+	// pool's; wake them too so they observe the stop.
+	for _, l := range p.leases {
+		l.cond.Broadcast()
+	}
 	p.mu.Unlock()
 	p.wg.Wait()
 }
@@ -270,7 +284,24 @@ func (p *Pool) run(worker int) {
 	defer p.wg.Done()
 	self := p.deques[worker]
 	var lastLoop uint64 // loopSeq of the last gang loop this worker saw
+	var lastLease *Lease
+	var lastLeaseSeq uint64 // loopSeq of the last lease loop this worker saw
 	for {
+		// A leased worker serves only its lease: it joins the lease's gang
+		// loops and parks on the lease's condition variable, so two leased
+		// runs (or a leased run and the global pool) never contend for the
+		// same workers.
+		if l := p.wleases[worker].Load(); l != nil {
+			if l != lastLease {
+				lastLease, lastLeaseSeq = l, 0
+			}
+			if p.runLeased(worker, l, &lastLeaseSeq) {
+				return
+			}
+			continue
+		}
+		lastLease = nil
+
 		// Gang loops take priority over queued tasks: they are
 		// latency-sensitive (the caller is blocked on completion). The
 		// sequence check is an uncontended atomic load so the task fast
@@ -317,7 +348,8 @@ func (p *Pool) run(worker int) {
 		// worker has not seen arrives, or shutdown.
 		p.mu.Lock()
 		parked := false
-		for p.queued == 0 && !p.stopped && !(p.loop != nil && p.loopSeq.Load() != lastLoop) {
+		for p.queued == 0 && !p.stopped && p.wleases[worker].Load() == nil &&
+			!(p.loop != nil && p.loopSeq.Load() != lastLoop) {
 			if !parked {
 				parked = true
 				p.cParks.Add(1)

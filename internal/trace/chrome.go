@@ -48,7 +48,12 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	r.mu.Lock()
 	labels := append([]string(nil), r.labels...)
 	numVertices := r.numVertices
+	runName := r.runName
 	r.mu.Unlock()
+	pid := int(r.runID)
+	if runName == "" {
+		runName = "run-" + itoa(pid)
+	}
 	label := func(id int64) string {
 		if id >= 0 && id < int64(len(labels)) {
 			return labels[id]
@@ -69,9 +74,16 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		ids = append(ids, id)
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	// The run id is the export's process: merged traces of concurrent runs
+	// keep one named track group per run instead of piling every run's
+	// engine/worker-N/fetcher-N onto colliding (0, tid) pairs.
+	doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pid,
+		Args: map[string]string{"name": runName},
+	})
 	for _, id := range ids {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
-			Name: "thread_name", Ph: "M", Tid: int(id),
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: int(id),
 			Args: map[string]string{"name": trackName(id)},
 		})
 	}
@@ -103,7 +115,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: label(ev.arg[1]), Ph: "X",
 				Ts: micros(ev.start), Dur: micros(ev.dur),
-				Tid: int(ev.track), Args: args,
+				Pid: pid, Tid: int(ev.track), Args: args,
 			})
 		case kindDecision:
 			g, ok := decisionByIter[ev.arg[0]]
@@ -127,7 +139,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 		case kindIOAdjust:
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: "io-adjust", Ph: "I", S: "g",
-				Ts: micros(ev.start), Tid: int(ev.track),
+				Ts: micros(ev.start), Pid: pid, Tid: int(ev.track),
 				Args: map[string]any{
 					"iteration":           ev.arg[0],
 					"prefetch_depth":      ev.arg[1],
@@ -151,6 +163,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: name, Ph: "X",
 				Ts: micros(ev.start), Dur: micros(ev.dur),
+				Pid:  pid,
 				Tid:  int(ev.track),
 				Args: args,
 			})
@@ -158,7 +171,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 				Name: "io-stall", Ph: "X",
 				Ts: micros(ev.start), Dur: micros(ev.dur),
-				Tid: int(ev.track),
+				Pid: pid, Tid: int(ev.track),
 			})
 		}
 	}
@@ -166,7 +179,7 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	for _, g := range decisions {
 		doc.TraceEvents = append(doc.TraceEvents, chromeEvent{
 			Name: "plan decision", Ph: "I", S: "g",
-			Ts: micros(g.ts), Tid: int(TrackEngine),
+			Ts: micros(g.ts), Pid: pid, Tid: int(TrackEngine),
 			Args: map[string]any{
 				"iteration":  g.iteration,
 				"chosen":     g.chosen,

@@ -93,7 +93,19 @@ type Recorder struct {
 	labelIDs    map[string]int32
 	counters    map[string]int64
 	numVertices int
+	runName     string
+
+	// runID keys this recorder's tracks in the Chrome export (its "process").
+	// Concurrent runs — two leased queries on one store, a batch's groups —
+	// each own a recorder, and before the export carried the run id their
+	// merged traces collided: every run's engine was tid 0, every run's first
+	// worker tid 1. With the id as the pid, track identity is (run, track)
+	// and merged exports stay readable.
+	runID int64
 }
+
+// runSeq hands out process-unique run ids, one per recorder.
+var runSeq atomic.Int64
 
 // NewRecorder builds a recorder whose ring holds at least capacity events
 // (rounded up to a power of two; capacity <= 0 selects DefaultCapacity).
@@ -113,6 +125,7 @@ func NewRecorder(capacity int) *Recorder {
 		mask:     uint64(n - 1),
 		labelIDs: make(map[string]int32),
 		counters: make(map[string]int64),
+		runID:    runSeq.Add(1),
 	}
 	r.iterNs.init()
 	r.fetchNs.init()
@@ -122,6 +135,27 @@ func NewRecorder(capacity int) *Recorder {
 
 // Enabled reports whether events are being recorded (false on nil).
 func (r *Recorder) Enabled() bool { return r != nil }
+
+// RunID returns the recorder's process-unique run id — the Chrome export's
+// pid, keying this run's tracks apart from every concurrent run's (0 on
+// nil).
+func (r *Recorder) RunID() int64 {
+	if r == nil {
+		return 0
+	}
+	return r.runID
+}
+
+// SetRunName labels the run in the Chrome export's process name (e.g.
+// "bfs lease-0"); unnamed runs export as "run-<id>".
+func (r *Recorder) SetRunName(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.runName = name
+	r.mu.Unlock()
+}
 
 // SetNumVertices records the run's vertex count so the exporter can derive
 // frontier density from the active-vertex count of each iteration span.
