@@ -45,6 +45,6 @@ bench-compressed:
 
 # Archive the machine-readable perf trajectory. Bump the number when a PR
 # records a new baseline (BENCH_<pr>.json).
-BENCH_JSON ?= BENCH_8.json
+BENCH_JSON ?= BENCH_10.json
 bench-json:
 	$(GO) run ./cmd/benchrunner -perf-json $(BENCH_JSON)

@@ -21,6 +21,7 @@ import (
 	"runtime"
 	"strings"
 
+	everythinggraph "github.com/epfl-repro/everythinggraph"
 	"github.com/epfl-repro/everythinggraph/internal/bench"
 )
 
@@ -126,6 +127,7 @@ func main() {
 			host += ", cpu=" + cpu
 		}
 		fmt.Println(host)
+		fmt.Printf("numa: %s\n", everythinggraph.NUMATopology())
 		return
 	}
 

@@ -7,6 +7,7 @@ import (
 
 	"github.com/epfl-repro/everythinggraph/internal/algorithms"
 	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/numa"
 	"github.com/epfl-repro/everythinggraph/internal/sched"
 )
 
@@ -94,13 +95,26 @@ func Batch(g *graph.Graph, kind BatchKind, sources []graph.VertexID, cfg Config)
 
 	runs := make([]*Result, len(groups))
 	if len(groups) == 1 || cfg.Lease != nil {
-		// One sweep, or a caller-held lease: nothing to split.
+		// One sweep, or a caller-held lease: nothing to split, and the groups
+		// run sequentially — so each completed sweep's measured per-plan costs
+		// seed the next group's cost model, which therefore starts from this
+		// run's measurements instead of hand priors (the serving-side re-plan
+		// from measured costs; labels carry the batch width and placement, so
+		// only matching populations seed).
+		priors := cfg.CostPriors
 		for i, alg := range kernels {
-			res, err := Run(g, alg, groupConfig(cfg, i))
+			cfgG := groupConfig(cfg, i)
+			if cfgG.Flow == Auto {
+				cfgG.CostPriors = priors
+			}
+			res, err := Run(g, alg, cfgG)
 			if err != nil {
 				return nil, err
 			}
 			runs[i] = res
+			if cfg.Flow == Auto && len(res.PlanCosts) > 0 {
+				priors = mergeCosts(priors, res.PlanCosts)
+			}
 		}
 	} else if err := runGroupsLeased(g, kernels, groups, cfg, runs); err != nil {
 		return nil, err
@@ -129,12 +143,30 @@ func runGroupsLeased(g *graph.Graph, kernels []Algorithm, groups [][]graph.Verte
 	total := resolveWorkers(cfg)
 	shares := batchWorkerShares(groups, cfg.CostPriors, total)
 
+	// NUMA spreading: concurrent leased groups are the batch-level form of
+	// node-partitioned execution. Each group's lease is capped at one
+	// socket's width and assigned a distinct preferred node round-robin, so
+	// concurrent sweeps whose planners choose pinned plans land on different
+	// sockets instead of stacking on one memory controller. Single-node
+	// hosts (topo.NumNodes() <= 1) skip all of it.
+	var topo *numa.Topology
+	if t := placementTopology(cfg); cfg.Placement != PlacementInterleaved && t.NumNodes() > 1 {
+		topo = t
+	}
+
 	pool := sched.DefaultPool()
 	var wg sync.WaitGroup
 	errs := make([]error, len(groups))
 	for i := range groups {
-		lease := pool.Lease(shares[i])
 		cfgG := groupConfig(cfg, i)
+		if topo != nil {
+			node := allocPlacementNode(topo)
+			cfgG.placementNode = node + 1
+			if w := len(topo.NodeCPUs(node)); shares[i] > w {
+				shares[i] = w
+			}
+		}
+		lease := pool.Lease(shares[i])
 		cfgG.Lease = lease
 		cfgG.Workers = shares[i]
 		wg.Add(1)
@@ -151,6 +183,21 @@ func runGroupsLeased(g *graph.Graph, kernels []Algorithm, groups [][]graph.Verte
 		}
 	}
 	return nil
+}
+
+// mergeCosts overlays measured per-plan costs onto a base prior map without
+// mutating either (the base may be the caller's CostPriors).
+func mergeCosts(base, measured map[string]float64) map[string]float64 {
+	out := make(map[string]float64, len(base)+len(measured))
+	for k, v := range base {
+		out[k] = v
+	}
+	for k, v := range measured {
+		if v > 0 {
+			out[k] = v
+		}
+	}
+	return out
 }
 
 // groupConfig adapts the caller's Config to group i: the (single-run) trace

@@ -34,8 +34,30 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 		alpha = DefaultPushPullAlpha
 	}
 
+	// NUMA placement: resolved once per run; the zero context (single-node
+	// hosts, PlacementInterleaved) disables everything below at the cost of
+	// one bool test. Pinning acts on a lease — the only holder of a stable
+	// worker set — so a placed run without a caller lease carves one out of
+	// the shared pool for the run's duration.
+	pc := resolvePlacement(cfg, workers)
+	var place placer
+	if pc.enabled {
+		if cfg.Lease == nil {
+			l := sched.DefaultPool().Lease(workers)
+			defer l.Release()
+			cfg.Lease = l
+			if lw := l.Workers(); lw < workers {
+				workers = lw
+			}
+		}
+		place.lease = cfg.Lease
+		place.topo = pc.topo
+		// A caller-provided lease must come back unpinned.
+		defer place.reset()
+	}
+
 	r := newRunner(g, alg, cfg, workers)
-	pl, err := newPlanner(g, cfg, r, alpha, workers, !alg.Dense())
+	pl, err := newPlanner(g, cfg, r, alpha, workers, !alg.Dense(), pc)
 	if err != nil {
 		return nil, err
 	}
@@ -76,6 +98,10 @@ func Run(g *graph.Graph, alg Algorithm, cfg Config) (*Result, error) {
 		// tests and the cost model are real switching overhead and must
 		// show up in the per-iteration accounting.
 		plan := pl.Next(iter, frontier)
+		// Bring the lease's CPU pins in line with the chosen placement: one
+		// struct comparison per iteration, thread affinity changes only when
+		// the planner switches placements.
+		place.apply(plan.Placement)
 		stats := IterationStats{
 			Iteration:      iter,
 			ActiveVertices: frontier.Count(),

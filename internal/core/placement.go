@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"github.com/epfl-repro/everythinggraph/internal/numa"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
+)
+
+// This file makes NUMA placement a planned StepPlan dimension. The paper's
+// Section 7 finding is that placement is not a static win: concentrating a
+// query on one socket removes cross-socket traffic for frontier-driven work
+// but halves (or worse) the memory bandwidth a dense full scan can draw. The
+// offline simulation in internal/numa reproduces that analysis; here the
+// simulated Machine becomes the *prior* that seeds per-placement cost
+// populations (exactly as cachesim seeds grid-level priors), the discovered
+// host topology provides the real CPU sets, and the lease/affinity layer in
+// internal/sched provides the mechanism. On single-node hosts every path in
+// this file degrades to a no-op: no pinned candidates, no lease, no pins, no
+// allocations.
+
+// PlacementPolicy is the Config-level placement knob.
+type PlacementPolicy int
+
+const (
+	// PlacementAuto (the default) lets the adaptive planner choose: on
+	// multi-node hosts it enumerates a node-pinned twin of every candidate,
+	// seeded by the numa.Machine prior, and abandons misfits from measured
+	// ns/edge as usual. Static flows run interleaved (there is no adaptive
+	// loop to measure a placement against). On single-node hosts the
+	// candidate set is exactly the pre-placement one.
+	PlacementAuto PlacementPolicy = iota
+	// PlacementInterleaved never pins: plans carry no placement and threads
+	// run wherever the OS schedules them (the paper's interleaved baseline).
+	PlacementInterleaved
+	// PlacementPinned forces every plan onto one NUMA node: the run's lease
+	// workers and holder are CPU-pinned to the node's set and plan labels
+	// carry the "@n<K>" provenance. Degrades to interleaved on single-node
+	// hosts.
+	PlacementPinned
+)
+
+// String returns the label used by flags and reports.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case PlacementAuto:
+		return "auto"
+	case PlacementInterleaved:
+		return "interleaved"
+	case PlacementPinned:
+		return "pinned"
+	default:
+		return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+	}
+}
+
+// PlaceKind is the placement of one StepPlan.
+type PlaceKind uint8
+
+const (
+	// PlaceInterleaved runs anywhere (the zero value; labels are unchanged
+	// from before the placement dimension existed).
+	PlaceInterleaved PlaceKind = iota
+	// PlacePinned runs the iteration's threads — and therefore its grid
+	// column ownership — entirely on one NUMA node.
+	PlacePinned
+)
+
+// Placement is the NUMA dimension of a StepPlan. It is part of the plan's
+// identity (key() keeps it): per-edge cost under pinned execution is a
+// different measured quantity than under interleaving — that is the whole
+// point of planning it — so cost entries, labels and the persisted cache
+// keep per-placement populations and never cross-seed.
+type Placement struct {
+	// Kind selects interleaved (zero value) or node-pinned execution.
+	Kind PlaceKind
+	// Node is the pinned NUMA node id (Kind == PlacePinned only).
+	Node int
+}
+
+// String renders the placement's label suffix: "@n<K>" for pinned plans,
+// empty for interleaved ones (back-compatible labels).
+func (p Placement) String() string {
+	if p.Kind == PlacePinned {
+		return fmt.Sprintf("@n%d", p.Node)
+	}
+	return ""
+}
+
+// placeCtx is the run-scoped placement context: resolved once per Run from
+// the policy and the (discovered or injected) topology. The zero value means
+// "placement disabled" — the degrade state every single-node host gets.
+type placeCtx struct {
+	enabled bool
+	topo    *numa.Topology
+	// node is the NUMA node allocated to this run's pinned candidates
+	// (round-robin across runs, so concurrent queries land on different
+	// sockets).
+	node int
+	// trackedFactor and scanFactor are the prior multipliers of a pinned
+	// candidate relative to its interleaved twin (see placementFactors).
+	trackedFactor float64
+	scanFactor    float64
+}
+
+// placementClock allocates nodes to runs round-robin, so concurrent pinned
+// queries spread across sockets instead of stacking on node 0.
+var placementClock atomic.Uint32
+
+func allocPlacementNode(topo *numa.Topology) int {
+	return int((placementClock.Add(1) - 1) % uint32(topo.NumNodes()))
+}
+
+// placementTopology resolves the run's topology: the injected one, or the
+// host's discovered (cached) topology.
+func placementTopology(cfg Config) *numa.Topology {
+	if cfg.Topology != nil {
+		return cfg.Topology
+	}
+	return numa.Default()
+}
+
+// resolvePlacement builds the run's placement context. Placement is enabled
+// only when the policy allows it AND the topology has more than one node;
+// everything else — notably every non-NUMA and non-Linux host — returns the
+// zero context, and no later placement path executes.
+func resolvePlacement(cfg Config, workers int) placeCtx {
+	if cfg.Placement == PlacementInterleaved {
+		return placeCtx{}
+	}
+	topo := placementTopology(cfg)
+	if topo.NumNodes() <= 1 {
+		return placeCtx{}
+	}
+	node := cfg.placementNode - 1
+	if node < 0 || node >= topo.NumNodes() {
+		node = allocPlacementNode(topo)
+	}
+	tf, sf := placementFactors(topo.Machine(), workers, len(topo.NodeCPUs(node)))
+	return placeCtx{
+		enabled:       true,
+		topo:          topo,
+		node:          node,
+		trackedFactor: tf,
+		scanFactor:    sf,
+	}
+}
+
+// placementFactors derives the pinned candidates' prior multipliers from the
+// topology's simulated-machine prior, reproducing the paper's Section 7
+// asymmetry before any measurement exists:
+//
+//   - frontier-driven (non-fullScan) candidates benefit: with every worker
+//     on one socket, frontier state and destination updates stop crossing
+//     the interconnect, modeled as the local/interleaved latency ratio over
+//     the memory-bound fraction of the kernel (< 1);
+//
+//   - full-scan candidates pay: a dense scan is bandwidth-bound, and one
+//     socket's controller serves what interleaving spread over all of them —
+//     the same (share·Nodes)^ContentionExponent concentration penalty the
+//     offline model charges when work lands on a single node (> 1);
+//
+//   - a lease wider than the node serializes proportionally on its CPUs,
+//     scaling both factors (the lease-width fit the scheduler cannot fix).
+//
+// Measured ns/edge replaces these predictions after one iteration, with the
+// planner's usual one-iteration misfit abandonment.
+func placementFactors(m numa.Machine, workers, nodeCPUs int) (tracked, scan float64) {
+	mbf := m.MemoryBoundFraction
+	tracked = (1 - mbf) + mbf*(m.LocalLatency/m.InterleavedLatency())
+	scan = (1 - mbf) + mbf*math.Pow(float64(m.Nodes), m.ContentionExponent)
+	if nodeCPUs > 0 && workers > nodeCPUs {
+		serial := float64(workers) / float64(nodeCPUs)
+		tracked *= serial
+		scan *= serial
+	}
+	return tracked, scan
+}
+
+// placementPrior scales a candidate's prior for its placement.
+func (pc *placeCtx) placementPrior(prior float64, fullScan bool) float64 {
+	if fullScan {
+		return prior * pc.scanFactor
+	}
+	return prior * pc.trackedFactor
+}
+
+// placeCandidates applies the placement policy to an enumerated candidate
+// set: under PlacementPinned every candidate is stamped onto the run's node
+// (placement is forced, but the factors still order the candidates
+// realistically against each other); under PlacementAuto each candidate
+// gains a pinned twin so the two placements keep separate measured cost
+// populations and the planner chooses per iteration. Disabled contexts
+// return the set untouched — the exact pre-placement candidates, with zero
+// extra allocation.
+func (pc *placeCtx) placeCandidates(cs []planCandidate, policy PlacementPolicy) []planCandidate {
+	if !pc.enabled {
+		return cs
+	}
+	pinned := Placement{Kind: PlacePinned, Node: pc.node}
+	if policy == PlacementPinned {
+		for i := range cs {
+			cs[i].plan.Placement = pinned
+			cs[i].prior = pc.placementPrior(cs[i].prior, cs[i].fullScan)
+		}
+		return cs
+	}
+	out := make([]planCandidate, 0, 2*len(cs))
+	for _, c := range cs {
+		out = append(out, c)
+		twin := c
+		twin.plan.Placement = pinned
+		twin.prior = pc.placementPrior(c.prior, c.fullScan)
+		out = append(out, twin)
+	}
+	return out
+}
+
+// placer applies a chosen plan's placement to the run's lease. It is driven
+// from the iteration loop with one comparison per iteration: pin state only
+// changes when the planner switches placements (at most once per run for
+// frozen dense plans, rarely for tracked ones).
+type placer struct {
+	lease *sched.Lease
+	topo  *numa.Topology
+	cur   Placement
+}
+
+// apply brings the lease's pin state in line with the plan's placement.
+func (p *placer) apply(pl Placement) {
+	if p.lease == nil || pl == p.cur {
+		return
+	}
+	p.cur = pl
+	if pl.Kind == PlacePinned {
+		p.lease.Pin(p.topo.NodeCPUs(pl.Node))
+	} else {
+		p.lease.Unpin()
+	}
+}
+
+// reset unpins the lease if the run left it pinned — a caller-provided lease
+// must come back with its threads' original affinity.
+func (p *placer) reset() {
+	if p.lease != nil && p.cur.Kind == PlacePinned {
+		p.lease.Unpin()
+		p.cur = Placement{}
+	}
+}

@@ -1,0 +1,356 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/epfl-repro/everythinggraph/internal/algorithms"
+	"github.com/epfl-repro/everythinggraph/internal/costcache"
+	"github.com/epfl-repro/everythinggraph/internal/gen"
+	"github.com/epfl-repro/everythinggraph/internal/graph"
+	"github.com/epfl-repro/everythinggraph/internal/numa"
+	"github.com/epfl-repro/everythinggraph/internal/sched"
+	"github.com/epfl-repro/everythinggraph/internal/trace"
+)
+
+// placementGraph builds a small RMAT graph with adjacency + grid prepared, so
+// both static and adaptive placement runs have their layouts available.
+func placementGraph(t testing.TB) *graph.Graph {
+	t.Helper()
+	g := gen.RMAT(gen.RMATOptions{Scale: 11, EdgeFactor: 8, Seed: 7})
+	prepareAll(t, g, false)
+	return g
+}
+
+// fakeNodes returns a two-node test topology over the host's real CPUs:
+// pinning targets currently-allowed CPUs, so the full pin path executes even
+// on single-socket hosts.
+func fakeNodes(n int) *numa.Topology { return numa.FakeTopology(n, nil) }
+
+func TestPlacementSingleNodeDegrades(t *testing.T) {
+	g := placementGraph(t)
+	before := sched.DefaultPool().Counters()
+	for _, cfg := range []Config{
+		{Flow: Auto, Placement: PlacementAuto, Topology: fakeNodes(1)},
+		{Flow: Auto, Placement: PlacementPinned, Topology: fakeNodes(1)},
+		{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics, Placement: PlacementPinned, Topology: fakeNodes(1)},
+	} {
+		res, err := Run(g, algorithms.NewBFS(0), cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for _, label := range res.PlanTrace() {
+			if strings.Contains(label, "@n") {
+				t.Fatalf("single-node run produced a placed plan %q", label)
+			}
+		}
+	}
+	if d := sched.DefaultPool().Counters().Sub(before); d.Pins != 0 || d.Unpins != 0 {
+		t.Fatalf("single-node degrade pinned threads: %+v", d)
+	}
+}
+
+func TestResolvePlacementDegradeAllocatesNothing(t *testing.T) {
+	// The degrade path is the common case (every non-NUMA host, every run):
+	// it must not add allocations to Run's fixed overhead.
+	cfg := Config{Placement: PlacementAuto, Topology: fakeNodes(1)}
+	if n := testing.AllocsPerRun(100, func() {
+		pc := resolvePlacement(cfg, 4)
+		if pc.enabled {
+			t.Fatal("placement enabled on a single-node topology")
+		}
+	}); n != 0 {
+		t.Fatalf("degraded resolvePlacement allocates %v per run", n)
+	}
+}
+
+func TestPlacementForcedPinnedLabelsAndPins(t *testing.T) {
+	g := placementGraph(t)
+	cfg := Config{
+		Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics,
+		Placement: PlacementPinned, Topology: fakeNodes(2),
+	}
+	before := sched.DefaultPool().Counters()
+	res, err := Run(g, algorithms.NewBFS(0), cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for _, label := range res.PlanTrace() {
+		if !strings.Contains(label, "@n") {
+			t.Fatalf("forced pinned run produced unplaced plan %q", label)
+		}
+	}
+	d := sched.DefaultPool().Counters().Sub(before)
+	if sched.AffinityAvailable() {
+		if d.Pins == 0 {
+			t.Fatal("forced pinned run on a multi-node topology pinned no threads")
+		}
+		if d.Pins != d.Unpins {
+			t.Fatalf("run ended with unbalanced pin state: %+v", d)
+		}
+	} else if d.Pins != 0 {
+		t.Fatalf("pins counted on a platform without affinity support: %+v", d)
+	}
+}
+
+// TestPlacementBitIdentity is the correctness core of the placement
+// dimension: pinning changes where threads run, never what they compute.
+// PageRank, BFS and WCC must produce bit-identical outputs pinned versus
+// interleaved (run with -race in CI, which also exercises the pin
+// publication protocol).
+func TestPlacementBitIdentity(t *testing.T) {
+	g := placementGraph(t)
+	base := Config{Layout: graph.LayoutGrid, Flow: Push, Sync: SyncPartitionFree}
+	pinned := base
+	pinned.Placement = PlacementPinned
+	pinned.Topology = fakeNodes(2)
+	interleaved := base
+	interleaved.Placement = PlacementInterleaved
+
+	t.Run("pagerank", func(t *testing.T) {
+		a, b := algorithms.NewPageRank(), algorithms.NewPageRank()
+		if _, err := Run(g, a, pinned); err != nil {
+			t.Fatalf("pinned: %v", err)
+		}
+		if _, err := Run(g, b, interleaved); err != nil {
+			t.Fatalf("interleaved: %v", err)
+		}
+		for v := range a.Rank {
+			if a.Rank[v] != b.Rank[v] {
+				t.Fatalf("rank[%d]: pinned %v != interleaved %v", v, a.Rank[v], b.Rank[v])
+			}
+		}
+	})
+	t.Run("bfs", func(t *testing.T) {
+		a, b := algorithms.NewBFS(0), algorithms.NewBFS(0)
+		if _, err := Run(g, a, pinned); err != nil {
+			t.Fatalf("pinned: %v", err)
+		}
+		if _, err := Run(g, b, interleaved); err != nil {
+			t.Fatalf("interleaved: %v", err)
+		}
+		for v := range a.Level {
+			if a.Level[v] != b.Level[v] {
+				t.Fatalf("level[%d]: pinned %d != interleaved %d", v, a.Level[v], b.Level[v])
+			}
+		}
+	})
+	t.Run("wcc", func(t *testing.T) {
+		a, b := algorithms.NewWCC(), algorithms.NewWCC()
+		if _, err := Run(g, a, pinned); err != nil {
+			t.Fatalf("pinned: %v", err)
+		}
+		if _, err := Run(g, b, interleaved); err != nil {
+			t.Fatalf("interleaved: %v", err)
+		}
+		for v := range a.Labels {
+			if a.Labels[v] != b.Labels[v] {
+				t.Fatalf("label[%d]: pinned %d != interleaved %d", v, a.Labels[v], b.Labels[v])
+			}
+		}
+	})
+}
+
+func TestPlacementFactorsAsymmetry(t *testing.T) {
+	// The Section 7 prior: pinning helps frontier-driven work (tracked < 1)
+	// and hurts dense scans (scan > 1) when the lease fits the node.
+	m := numa.MachineA
+	tracked, scan := placementFactors(m, 4, 8)
+	if tracked >= 1 {
+		t.Fatalf("tracked factor %v, want < 1 (pinning should favor frontier-driven work)", tracked)
+	}
+	if scan <= 1 {
+		t.Fatalf("scan factor %v, want > 1 (pinning should penalize dense scans)", scan)
+	}
+	// A lease wider than the node serializes on its CPUs: both factors scale
+	// by workers/nodeCPUs.
+	wTracked, wScan := placementFactors(m, 16, 8)
+	if wTracked != tracked*2 || wScan != scan*2 {
+		t.Fatalf("wide-lease factors (%v, %v), want (%v, %v)", wTracked, wScan, tracked*2, scan*2)
+	}
+}
+
+func TestPlaceCandidatesTwinsAndForcing(t *testing.T) {
+	g := placementGraph(t)
+	pc := resolvePlacement(Config{Placement: PlacementAuto, Topology: fakeNodes(2)}, 2)
+	if !pc.enabled {
+		t.Fatal("placement disabled on a two-node topology")
+	}
+	base := autoCandidates(g, Config{Flow: Auto}, 2, true)
+
+	auto := pc.placeCandidates(append([]planCandidate(nil), base...), PlacementAuto)
+	if len(auto) != 2*len(base) {
+		t.Fatalf("auto placement produced %d candidates, want %d (a pinned twin each)", len(auto), 2*len(base))
+	}
+	keys := map[string]bool{}
+	var nPinned int
+	for _, c := range auto {
+		label := c.plan.String()
+		if keys[label] {
+			t.Fatalf("duplicate candidate label %q — placements would share a cost population", label)
+		}
+		keys[label] = true
+		if c.plan.Placement.Kind == PlacePinned {
+			nPinned++
+			if !strings.Contains(label, "@n") {
+				t.Fatalf("pinned candidate label %q missing @n provenance", label)
+			}
+		}
+	}
+	if nPinned != len(base) {
+		t.Fatalf("%d pinned twins, want %d", nPinned, len(base))
+	}
+
+	forced := pc.placeCandidates(append([]planCandidate(nil), base...), PlacementPinned)
+	if len(forced) != len(base) {
+		t.Fatalf("forced placement changed the candidate count: %d != %d", len(forced), len(base))
+	}
+	for _, c := range forced {
+		if c.plan.Placement.Kind != PlacePinned {
+			t.Fatalf("forced candidate %q not pinned", c.plan.String())
+		}
+	}
+
+	// Disabled contexts hand back the identical slice — the degrade
+	// guarantee the single-node acceptance criterion rests on.
+	var off placeCtx
+	if got := off.placeCandidates(base, PlacementAuto); len(got) != len(base) || &got[0] != &base[0] {
+		t.Fatal("disabled placeCtx did not return the candidate set untouched")
+	}
+}
+
+// TestPlacementCostcacheRoundTrip pins down the provenance chain: a pinned
+// run's measured costs carry "@n<K>" labels, survive a costcache
+// save/load round trip, and stay disjoint from the interleaved population —
+// the no-cross-seeding property the costcache version bump protects.
+func TestPlacementCostcacheRoundTrip(t *testing.T) {
+	g := placementGraph(t)
+	run := func(placement PlacementPolicy) map[string]float64 {
+		cfg := Config{Flow: Auto, Placement: placement, Topology: fakeNodes(2)}
+		res, err := Run(g, algorithms.NewPageRank(), cfg)
+		if err != nil {
+			t.Fatalf("Run(%v): %v", placement, err)
+		}
+		if len(res.PlanCosts) == 0 {
+			t.Fatalf("Run(%v) measured no plan costs", placement)
+		}
+		return res.PlanCosts
+	}
+	pinnedCosts := run(PlacementPinned)
+	interleavedCosts := run(PlacementInterleaved)
+	for label := range pinnedCosts {
+		if !strings.Contains(label, "@n") {
+			t.Fatalf("pinned run measured unplaced label %q", label)
+		}
+		if _, clash := interleavedCosts[label]; clash {
+			t.Fatalf("label %q present in both placement populations", label)
+		}
+	}
+	for label := range interleavedCosts {
+		if strings.Contains(label, "@n") {
+			t.Fatalf("interleaved run measured placed label %q", label)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "costs.json")
+	f, err := costcache.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	key := costcache.Key("pagerank", "", "rmat", 11)
+	f.Record(key, pinnedCosts)
+	f.Record(key, interleavedCosts)
+	if err := f.Save(path); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := costcache.Load(path)
+	if err != nil {
+		t.Fatalf("reload: %v", err)
+	}
+	priors := loaded.Priors(key)
+	for label, c := range pinnedCosts {
+		if priors[label] != c {
+			t.Fatalf("prior[%q] = %v after round trip, want %v", label, priors[label], c)
+		}
+	}
+
+	// Warm-starting a pinned run from the mixed cache must seed only the
+	// placed population; the run keeps measuring @n labels exclusively.
+	cfg := Config{Flow: Auto, Placement: PlacementPinned, Topology: fakeNodes(2), CostPriors: priors}
+	res, err := Run(g, algorithms.NewPageRank(), cfg)
+	if err != nil {
+		t.Fatalf("warm pinned run: %v", err)
+	}
+	for label := range res.PlanCosts {
+		if !strings.Contains(label, "@n") {
+			t.Fatalf("warm pinned run measured unplaced label %q", label)
+		}
+	}
+	_ = os.Remove(path)
+}
+
+// TestBatchPlacedMatchesInterleaved runs a two-group batch over a two-node
+// topology (concurrent leases, distinct preferred nodes) against the same
+// batch interleaved, checking source-level results match exactly.
+func TestBatchPlacedMatchesInterleaved(t *testing.T) {
+	g := placementGraph(t)
+	n := g.NumVertices()
+	sources := make([]graph.VertexID, graph.MaxMultiWidth+8)
+	for i := range sources {
+		sources[i] = graph.VertexID((i * 131) % n)
+	}
+	placed, err := Batch(g, BatchBFS, sources, Config{Flow: Auto, Placement: PlacementAuto, Topology: fakeNodes(2)})
+	if err != nil {
+		t.Fatalf("placed batch: %v", err)
+	}
+	plain, err := Batch(g, BatchBFS, sources, Config{Flow: Auto, Placement: PlacementInterleaved})
+	if err != nil {
+		t.Fatalf("interleaved batch: %v", err)
+	}
+	if len(placed) != len(plain) {
+		t.Fatalf("result counts differ: %d != %d", len(placed), len(plain))
+	}
+	for i := range placed {
+		if placed[i].Source != plain[i].Source {
+			t.Fatalf("source order differs at %d", i)
+		}
+		for v := range placed[i].Level {
+			if placed[i].Level[v] != plain[i].Level[v] {
+				t.Fatalf("source %d level[%d]: placed %d != interleaved %d",
+					placed[i].Source, v, placed[i].Level[v], plain[i].Level[v])
+			}
+		}
+	}
+}
+
+func TestPlacementTraceCounters(t *testing.T) {
+	g := placementGraph(t)
+	runWith := func(cfg Config) *Result {
+		rec := trace.NewRecorder(0)
+		cfg.Trace = rec
+		res, err := Run(g, algorithms.NewPageRank(), cfg)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		return res
+	}
+	res := runWith(Config{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics,
+		Placement: PlacementPinned, Topology: fakeNodes(2)})
+	if got, _ := res.Metrics.Get("planner.placement_pinned"); got != int64(res.Iterations) {
+		t.Fatalf("planner.placement_pinned = %d, want %d", got, res.Iterations)
+	}
+	if sched.AffinityAvailable() {
+		if got, _ := res.Metrics.Get("sched.pins"); got == 0 {
+			t.Fatal("sched.pins counter is zero for a pinned traced run")
+		}
+	}
+	res = runWith(Config{Layout: graph.LayoutAdjacency, Flow: Push, Sync: SyncAtomics})
+	if got, _ := res.Metrics.Get("planner.placement_interleaved"); got != int64(res.Iterations) {
+		t.Fatalf("planner.placement_interleaved = %d, want %d", got, res.Iterations)
+	}
+	if got, _ := res.Metrics.Get("planner.placement_pinned"); got != 0 {
+		t.Fatalf("planner.placement_pinned = %d for an interleaved run", got)
+	}
+}

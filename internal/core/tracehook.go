@@ -51,6 +51,21 @@ func finishRunTrace(rec *trace.Recorder, res *Result, sc sched.PoolCounters, io 
 	rec.AddCounter("sched.gang_joins", sc.GangJoins)
 	rec.AddCounter("sched.parks", sc.Parks)
 	rec.AddCounter("sched.unparks", sc.Unparks)
+	rec.AddCounter("sched.pins", sc.Pins)
+	rec.AddCounter("sched.unpins", sc.Unpins)
+	// Per-placement iteration counts: on a single-node (or non-Linux) host
+	// every iteration lands in placement_interleaved and placement_pinned is
+	// zero — the observable form of the placement degrade.
+	var inter, pinned int64
+	for i := range res.PerIteration {
+		if res.PerIteration[i].Plan.Placement.Kind == PlacePinned {
+			pinned++
+		} else {
+			inter++
+		}
+	}
+	rec.AddCounter("planner.placement_interleaved", inter)
+	rec.AddCounter("planner.placement_pinned", pinned)
 	if io != nil {
 		rec.AddCounter("oocore.reads", int64(io.Reads))
 		rec.AddCounter("oocore.bytes_read", io.BytesRead)

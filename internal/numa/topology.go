@@ -1,0 +1,248 @@
+package numa
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// TopologyNode is one NUMA node of the host: its id, the logical CPUs it
+// owns, and its memory. On hosts without NUMA information the synthetic
+// single node reports all CPUs and zero memory figures.
+type TopologyNode struct {
+	// ID is the kernel's node id (the N in /sys/devices/system/node/nodeN).
+	ID int
+	// CPUs lists the logical CPU ids belonging to the node, ascending.
+	CPUs []int
+	// MemTotal and MemFree are the node's memory in bytes (0 when unknown).
+	MemTotal int64
+	MemFree  int64
+}
+
+// Topology is the discovered NUMA topology of the host. It is the real
+// counterpart of the simulated Machine: discovery reads
+// /sys/devices/system/node on Linux and degrades to a single synthetic node
+// everywhere else, so layers consuming it are no-ops on non-NUMA hosts.
+type Topology struct {
+	// Nodes holds one entry per NUMA node, ascending by ID.
+	Nodes []TopologyNode
+	// Synthetic is true when no NUMA information was available and a single
+	// node covering all CPUs was substituted.
+	Synthetic bool
+}
+
+// NumNodes returns the number of NUMA nodes (always >= 1).
+func (t *Topology) NumNodes() int { return len(t.Nodes) }
+
+// NumCPUs returns the total number of logical CPUs across all nodes.
+func (t *Topology) NumCPUs() int {
+	n := 0
+	for i := range t.Nodes {
+		n += len(t.Nodes[i].CPUs)
+	}
+	return n
+}
+
+// NodeCPUs returns the CPU list of node i (nil when out of range).
+func (t *Topology) NodeCPUs(i int) []int {
+	if i < 0 || i >= len(t.Nodes) {
+		return nil
+	}
+	return t.Nodes[i].CPUs
+}
+
+// String renders the topology compactly, one clause per node:
+// "2 nodes: n0 8 cpus (0-7) 30.1/62.8 GiB free; n1 ...".
+func (t *Topology) String() string {
+	var b strings.Builder
+	if t.Synthetic {
+		fmt.Fprintf(&b, "%d node (synthetic): ", len(t.Nodes))
+	} else if len(t.Nodes) == 1 {
+		b.WriteString("1 node: ")
+	} else {
+		fmt.Fprintf(&b, "%d nodes: ", len(t.Nodes))
+	}
+	for i := range t.Nodes {
+		nd := &t.Nodes[i]
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "n%d %d cpus (%s)", nd.ID, len(nd.CPUs), FormatCPUList(nd.CPUs))
+		if nd.MemTotal > 0 {
+			fmt.Fprintf(&b, " %.1f/%.1f GiB free", float64(nd.MemFree)/(1<<30), float64(nd.MemTotal)/(1<<30))
+		}
+	}
+	return b.String()
+}
+
+// Machine maps the discovered topology onto a simulated Machine prior: the
+// node count picks between the paper's machine A (modest remote penalty) and
+// machine B (steep remote penalty) profiles, so planner placement costs are
+// seeded from the same model the offline Section 7 analysis uses. A
+// single-node topology yields a trivial machine whose remote latency equals
+// its local latency (every placement factor collapses to 1).
+func (t *Topology) Machine() Machine {
+	n := len(t.Nodes)
+	cores := t.NumCPUs()
+	if n <= 1 {
+		return Machine{
+			Name:                "single",
+			Nodes:               1,
+			CoresPerNode:        cores,
+			LocalLatency:        1.0,
+			RemoteLatency:       1.0,
+			MemoryBoundFraction: MachineA.MemoryBoundFraction,
+			ContentionExponent:  MachineA.ContentionExponent,
+		}
+	}
+	m := MachineA
+	if n >= 4 {
+		m = MachineB
+	}
+	m.Name = "host"
+	m.Nodes = n
+	m.CoresPerNode = (cores + n - 1) / n
+	return m
+}
+
+var (
+	defaultOnce sync.Once
+	defaultTopo *Topology
+)
+
+// Default returns the host topology, discovered once and cached. It never
+// returns nil: hosts without NUMA information get the synthetic single node.
+func Default() *Topology {
+	defaultOnce.Do(func() { defaultTopo = Discover() })
+	return defaultTopo
+}
+
+// Discover reads the host's NUMA topology. On Linux it parses
+// /sys/devices/system/node; on other platforms — or when sysfs is missing or
+// malformed — it returns the synthetic single-node topology.
+func Discover() *Topology {
+	if t := discoverSys(); t != nil {
+		return t
+	}
+	return syntheticTopology()
+}
+
+// syntheticTopology builds the single-node fallback covering CPUs
+// 0..NumCPU-1.
+func syntheticTopology() *Topology {
+	n := runtime.NumCPU()
+	if n < 1 {
+		n = 1
+	}
+	cpus := make([]int, n)
+	for i := range cpus {
+		cpus[i] = i
+	}
+	return &Topology{
+		Nodes:     []TopologyNode{{ID: 0, CPUs: cpus}},
+		Synthetic: true,
+	}
+}
+
+// FakeTopology builds a test topology that splits the given CPUs across
+// `nodes` synthetic-but-multi nodes round-robin. Tests use it to exercise
+// multi-node placement on single-node hosts: pinning to a fake node still
+// targets real, currently-allowed CPUs. With fewer CPUs than nodes, every
+// node receives the full CPU list (pinning becomes a locality no-op but the
+// planner and label paths are fully exercised).
+func FakeTopology(nodes int, cpus []int) *Topology {
+	if nodes < 1 {
+		nodes = 1
+	}
+	if len(cpus) == 0 {
+		cpus = syntheticTopology().Nodes[0].CPUs
+	}
+	t := &Topology{Nodes: make([]TopologyNode, nodes)}
+	for i := range t.Nodes {
+		t.Nodes[i].ID = i
+	}
+	if len(cpus) < nodes {
+		for i := range t.Nodes {
+			t.Nodes[i].CPUs = append([]int(nil), cpus...)
+		}
+		return t
+	}
+	for i, c := range cpus {
+		nd := &t.Nodes[i%nodes]
+		nd.CPUs = append(nd.CPUs, c)
+	}
+	return t
+}
+
+// ParseCPUList parses the kernel's cpulist format ("0-3,8,10-11") into an
+// ascending slice of CPU ids.
+func ParseCPUList(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var cpus []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if lo, hi, ok := strings.Cut(part, "-"); ok {
+			a, err := strconv.Atoi(lo)
+			if err != nil {
+				return nil, fmt.Errorf("cpulist %q: %w", s, err)
+			}
+			b, err := strconv.Atoi(hi)
+			if err != nil {
+				return nil, fmt.Errorf("cpulist %q: %w", s, err)
+			}
+			if b < a {
+				return nil, fmt.Errorf("cpulist %q: descending range %s", s, part)
+			}
+			for c := a; c <= b; c++ {
+				cpus = append(cpus, c)
+			}
+		} else {
+			c, err := strconv.Atoi(part)
+			if err != nil {
+				return nil, fmt.Errorf("cpulist %q: %w", s, err)
+			}
+			cpus = append(cpus, c)
+		}
+	}
+	sort.Ints(cpus)
+	return cpus, nil
+}
+
+// FormatCPUList renders an ascending CPU list back into the kernel's compact
+// range form ("0-3,8").
+func FormatCPUList(cpus []int) string {
+	if len(cpus) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	lo, prev := cpus[0], cpus[0]
+	flush := func() {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if lo == prev {
+			fmt.Fprintf(&b, "%d", lo)
+		} else {
+			fmt.Fprintf(&b, "%d-%d", lo, prev)
+		}
+	}
+	for _, c := range cpus[1:] {
+		if c == prev+1 {
+			prev = c
+			continue
+		}
+		flush()
+		lo, prev = c, c
+	}
+	flush()
+	return b.String()
+}

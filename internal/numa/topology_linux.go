@@ -1,0 +1,80 @@
+//go:build linux
+
+package numa
+
+import (
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// sysNodeRoot is a variable so tests can point discovery at a fixture tree.
+var sysNodeRoot = "/sys/devices/system/node"
+
+// discoverSys parses /sys/devices/system/node into a Topology. It returns
+// nil when the tree is absent or yields no usable node (the caller then
+// substitutes the synthetic single node).
+func discoverSys() *Topology {
+	entries, err := os.ReadDir(sysNodeRoot)
+	if err != nil {
+		return nil
+	}
+	var t Topology
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "node") {
+			continue
+		}
+		id, err := strconv.Atoi(name[len("node"):])
+		if err != nil {
+			continue
+		}
+		dir := sysNodeRoot + "/" + name
+		raw, err := os.ReadFile(dir + "/cpulist")
+		if err != nil {
+			continue
+		}
+		cpus, err := ParseCPUList(string(raw))
+		if err != nil || len(cpus) == 0 {
+			// Memory-only nodes (CXL expanders) have no CPUs; threads cannot
+			// be pinned to them, so they are not placement targets.
+			continue
+		}
+		nd := TopologyNode{ID: id, CPUs: cpus}
+		nd.MemTotal, nd.MemFree = readNodeMeminfo(dir + "/meminfo")
+		t.Nodes = append(t.Nodes, nd)
+	}
+	if len(t.Nodes) == 0 {
+		return nil
+	}
+	sort.Slice(t.Nodes, func(i, j int) bool { return t.Nodes[i].ID < t.Nodes[j].ID })
+	return &t
+}
+
+// readNodeMeminfo extracts MemTotal/MemFree (bytes) from a per-node meminfo
+// file. Lines look like "Node 0 MemTotal:       65780088 kB".
+func readNodeMeminfo(path string) (total, free int64) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0
+	}
+	for _, line := range strings.Split(string(raw), "\n") {
+		fields := strings.Fields(line)
+		// "Node" "<id>" "<key>:" "<value>" "kB"
+		if len(fields) < 4 || fields[0] != "Node" {
+			continue
+		}
+		v, err := strconv.ParseInt(fields[3], 10, 64)
+		if err != nil {
+			continue
+		}
+		switch fields[2] {
+		case "MemTotal:":
+			total = v * 1024
+		case "MemFree:":
+			free = v * 1024
+		}
+	}
+	return total, free
+}

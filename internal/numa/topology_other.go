@@ -1,0 +1,7 @@
+//go:build !linux
+
+package numa
+
+// discoverSys has no NUMA source outside Linux; discovery always degrades to
+// the synthetic single-node topology.
+func discoverSys() *Topology { return nil }

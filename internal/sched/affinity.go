@@ -1,0 +1,130 @@
+package sched
+
+import "runtime"
+
+// CPUSet is a fixed-size CPU affinity mask covering up to 1024 logical CPUs
+// (16 * 64). A value type with no indirection so pin state never allocates.
+type CPUSet [16]uint64
+
+// MaxCPUs is the highest logical CPU id a CPUSet can represent plus one.
+const MaxCPUs = len(CPUSet{}) * 64
+
+// Set marks cpu as a member (ids outside the representable range are
+// ignored).
+func (s *CPUSet) Set(cpu int) {
+	if cpu < 0 || cpu >= MaxCPUs {
+		return
+	}
+	s[cpu/64] |= 1 << (uint(cpu) % 64)
+}
+
+// Has reports whether cpu is a member.
+func (s *CPUSet) Has(cpu int) bool {
+	if cpu < 0 || cpu >= MaxCPUs {
+		return false
+	}
+	return s[cpu/64]&(1<<(uint(cpu)%64)) != 0
+}
+
+// And intersects s with o in place.
+func (s *CPUSet) And(o *CPUSet) {
+	for i := range s {
+		s[i] &= o[i]
+	}
+}
+
+// IsEmpty reports whether no CPU is set.
+func (s *CPUSet) IsEmpty() bool {
+	for _, w := range s {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the number of CPUs in the set.
+func (s *CPUSet) Count() int {
+	n := 0
+	for _, w := range s {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// fill sets every representable CPU (used as the restore mask when the
+// original affinity could not be read; the kernel intersects it with the
+// CPUs that actually exist).
+func (s *CPUSet) fill() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// MaskOf builds a CPUSet from a list of CPU ids.
+func MaskOf(cpus []int) CPUSet {
+	var s CPUSet
+	for _, c := range cpus {
+		s.Set(c)
+	}
+	return s
+}
+
+// AffinityAvailable reports whether this platform supports thread CPU
+// affinity (Linux). When false every pin request is a silent no-op.
+func AffinityAvailable() bool { return affinityOS }
+
+// workerPin is the per-thread pin state of one pool worker (or a lease
+// holder). It is only ever touched by the goroutine it belongs to, so it
+// needs no synchronization.
+type workerPin struct {
+	locked  bool   // runtime.LockOSThread is in effect
+	applied bool   // sched_setaffinity succeeded; orig must be restored
+	orig    CPUSet // thread's affinity mask before the first pin
+}
+
+// pin restricts the current thread to mask ∩ the thread's original mask,
+// locking the goroutine to its OS thread first. It is best-effort: when the
+// intersection is empty (cgroup cpuset excludes the node) or the syscall
+// fails, the thread is left unpinned. Reports whether the pin state changed
+// from unapplied to applied.
+func (st *workerPin) pin(mask *CPUSet) (pinned, unpinned bool) {
+	if !affinityOS {
+		return false, false
+	}
+	if !st.locked {
+		runtime.LockOSThread()
+		st.locked = true
+		if getAffinity(&st.orig) != nil {
+			st.orig.fill()
+		}
+	}
+	want := *mask
+	want.And(&st.orig)
+	if want.IsEmpty() || setAffinity(&want) != nil {
+		return false, st.unpin()
+	}
+	if st.applied {
+		return false, false
+	}
+	st.applied = true
+	return true, false
+}
+
+// unpin restores the thread's original mask and releases the OS-thread lock.
+// Reports whether an applied pin was actually undone.
+func (st *workerPin) unpin() bool {
+	if !st.locked {
+		return false
+	}
+	applied := st.applied
+	if applied {
+		setAffinity(&st.orig)
+		st.applied = false
+	}
+	runtime.UnlockOSThread()
+	st.locked = false
+	return applied
+}

@@ -1,0 +1,33 @@
+//go:build linux
+
+package sched
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// affinityOS reports platform support for thread CPU affinity.
+const affinityOS = true
+
+// setAffinity applies mask to the calling thread (pid 0). Raw syscalls keep
+// the scheduler dependency-free; golang.org/x/sys is deliberately not used.
+func setAffinity(mask *CPUSet) error {
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_SETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}
+
+// getAffinity reads the calling thread's current mask.
+func getAffinity(mask *CPUSet) error {
+	*mask = CPUSet{}
+	_, _, errno := syscall.RawSyscall(syscall.SYS_SCHED_GETAFFINITY,
+		0, uintptr(len(mask)*8), uintptr(unsafe.Pointer(&mask[0])))
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

@@ -1,0 +1,14 @@
+//go:build !linux
+
+package sched
+
+import "errors"
+
+// affinityOS reports platform support for thread CPU affinity.
+const affinityOS = false
+
+var errNoAffinity = errors.New("sched: thread affinity not supported on this platform")
+
+func setAffinity(mask *CPUSet) error { return errNoAffinity }
+
+func getAffinity(mask *CPUSet) error { return errNoAffinity }

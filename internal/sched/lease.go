@@ -31,6 +31,15 @@ type Lease struct {
 	loopD    loopDesc
 	released bool
 
+	// CPU-affinity pin state (see Pin). pinned and pinMask are guarded by
+	// pool.mu; pinSeq is bumped after every state change so workers notice
+	// with one uncontended atomic load per scheduling round. selfPin is the
+	// holder goroutine's own thread pin (holder-only, no locking).
+	pinned  bool
+	pinMask CPUSet
+	pinSeq  atomic.Uint32
+	selfPin workerPin
+
 	cGangLoops atomic.Int64
 	cGangJoins atomic.Int64
 }
@@ -86,6 +95,7 @@ func (l *Lease) Release() {
 		return
 	}
 	l.released = true
+	l.pinned = false
 	for _, w := range l.workers {
 		p.wleases[w].Store(nil)
 	}
@@ -97,9 +107,76 @@ func (l *Lease) Release() {
 		}
 	}
 	// Leased workers park on the lease's cond; wake them so they re-read
-	// their assignment and rejoin the global scheduling loop.
+	// their assignment and rejoin the global scheduling loop (unpinning on
+	// the way out).
 	l.cond.Broadcast()
 	p.mu.Unlock()
+	l.unpinSelf()
+}
+
+// Pin restricts the lease's execution to the given CPUs: the calling
+// goroutine (the holder participates in every lease loop as worker 0) is
+// pinned immediately via LockOSThread + sched_setaffinity, and the lease's
+// pool workers pin themselves before joining their next loop. Pinning is
+// best-effort — on platforms without affinity support, with an empty CPU
+// list, or when the CPUs all fall outside a thread's allowed set (cgroup
+// cpuset), threads stay unpinned. The pool's Pins/Unpins counters record
+// what was actually applied. Re-pinning with a different CPU list is
+// allowed; Unpin or Release restores original masks.
+func (l *Lease) Pin(cpus []int) {
+	if !affinityOS || len(cpus) == 0 {
+		return
+	}
+	mask := MaskOf(cpus)
+	p := l.pool
+	p.mu.Lock()
+	if l.released || p.closed || p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	l.pinned = true
+	l.pinMask = mask
+	l.pinSeq.Add(1)
+	// Parked workers must wake to apply the new mask before their next loop.
+	l.cond.Broadcast()
+	p.mu.Unlock()
+	l.pinSelf(&mask)
+}
+
+// Unpin restores the original thread affinity of the holder and of every
+// lease worker (workers restore on their next scheduling round). No-op when
+// the lease is not pinned.
+func (l *Lease) Unpin() {
+	if !affinityOS {
+		return
+	}
+	p := l.pool
+	p.mu.Lock()
+	if l.pinned {
+		l.pinned = false
+		l.pinSeq.Add(1)
+		l.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	l.unpinSelf()
+}
+
+// pinSelf pins the holder goroutine's thread. Holder-only state.
+func (l *Lease) pinSelf(mask *CPUSet) {
+	pin, unpin := l.selfPin.pin(mask)
+	if pin {
+		l.pool.cPins.Add(1)
+	}
+	if unpin {
+		l.pool.cUnpins.Add(1)
+	}
+}
+
+// unpinSelf restores the holder goroutine's thread affinity.
+func (l *Lease) unpinSelf() {
+	if l.selfPin.unpin() {
+		l.pool.cUnpins.Add(1)
+	}
 }
 
 // Counters returns the lease's gang counters, combined with the pool's
@@ -112,6 +189,8 @@ func (l *Lease) Counters() PoolCounters {
 		GangJoins: l.cGangJoins.Load(),
 		Parks:     p.cParks.Load(),
 		Unparks:   p.cUnparks.Load(),
+		Pins:      p.cPins.Load(),
+		Unpins:    p.cUnpins.Load(),
 	}
 }
 
@@ -204,9 +283,11 @@ func (l *Lease) ParallelForChunked(begin, end, chunk, p int, body func(lo, hi in
 
 // runLeased is the leased-mode body of a pool worker's scheduling loop: it
 // joins the lease's pending gang loop if any, otherwise parks on the lease's
-// condition variable until a new loop arrives, the lease is released, or the
-// pool stops. It returns true when the worker should exit (pool stopped).
-func (p *Pool) runLeased(worker int, l *Lease, lastSeq *uint64) bool {
+// condition variable until a new loop arrives, the lease's pin state changes
+// (pinSeq is the state the worker has applied; a mismatch sends it back to
+// the scheduling loop to re-sync), the lease is released, or the pool stops.
+// It returns true when the worker should exit (pool stopped).
+func (p *Pool) runLeased(worker int, l *Lease, lastSeq *uint64, pinSeq uint32) bool {
 	if l.loopSeq.Load() != *lastSeq {
 		p.mu.Lock()
 		*lastSeq = l.loopSeq.Load()
@@ -229,7 +310,8 @@ func (p *Pool) runLeased(worker int, l *Lease, lastSeq *uint64) bool {
 	}
 	p.mu.Lock()
 	parked := false
-	for p.wleases[worker].Load() == l && !p.stopped && !(l.loop != nil && l.loopSeq.Load() != *lastSeq) {
+	for p.wleases[worker].Load() == l && !p.stopped && l.pinSeq.Load() == pinSeq &&
+		!(l.loop != nil && l.loopSeq.Load() != *lastSeq) {
 		if !parked {
 			parked = true
 			p.cParks.Add(1)
